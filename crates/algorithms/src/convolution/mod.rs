@@ -1,0 +1,45 @@
+//! Direct convolution algorithms (paper Sections VIII–IX).
+//!
+//! The convolution of `a` (length `k`) and `b` (length `n + k − 1`)
+//! produces `c` of length `n` with `c[i] = Σ_j a[j]·b[i+j]`; the paper
+//! assumes `k ≪ n` and studies the *direct* (non-FFT) evaluation to
+//! expose the memory behaviour of the models.
+//!
+//! | Submodule | Result | Machine | Time |
+//! |---|---|---|---|
+//! | [`dmm_umm`] (strided) | Theorem 8, `p ≤ n` | DMM / UMM | `O(nk/w + nkl/p)` |
+//! | [`dmm_umm`] (blocked) | Theorem 8, `n < p ≤ nk` | DMM / UMM | `O(nk/w + nkl/p + l·log k)` |
+//! | [`hmm`] | Theorem 9 / Corollary 10 | HMM | `O(nk/(dw) + n/w + nl/p + l + log k)` |
+//!
+//! The HMM wins by a factor of `d` on the compute term: each DMM stages
+//! its slice of `b` (plus all of `a`) into shared memory once, so the `nk`
+//! multiply-accumulate traffic hits the latency-1 banks instead of the
+//! global pipeline.
+
+pub mod dmm_umm;
+pub mod hmm;
+
+use hmm_machine::{SimReport, Word};
+
+/// Result of a parallel convolution run.
+#[derive(Debug, Clone)]
+pub struct ConvRun {
+    /// The computed output `c` of length `n`.
+    pub value: Vec<Word>,
+    /// Timing and memory statistics.
+    pub report: SimReport,
+}
+
+/// Validate convolution input shapes; returns `(k, n)`.
+pub(crate) fn shapes(a: &[Word], b: &[Word]) -> Result<(usize, usize), hmm_machine::SimError> {
+    let k = a.len();
+    if k == 0 || b.len() < k {
+        return Err(hmm_machine::SimError::BadLaunch(
+            "convolution needs 0 < k and len(b) = n + k - 1 with n >= 1".into(),
+        ));
+    }
+    Ok((k, b.len() + 1 - k))
+}
+
+pub use dmm_umm::{run_conv_blocked, run_conv_dmm_umm};
+pub use hmm::run_conv_hmm;

@@ -1,0 +1,41 @@
+//! # hmm-algorithms — the paper's algorithms as executable kernels
+//!
+//! Each module implements one algorithm family from Nakano's HMM paper,
+//! as real ISA programs launched on the simulated machines of
+//! [`hmm_core`]. Every run returns both the *numerical result* (validated
+//! against the sequential references in [`mod@reference`]) and the *measured
+//! time units* (validated against the closed forms in `hmm-theory`).
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`contiguous`] | Lemma 1 / Theorem 2 — contiguous access in `O(n/w + nl/p + l)` |
+//! | [`sum`] | Lemma 5 (DMM/UMM), Lemma 6 (HMM, one DMM), Theorem 7 (HMM, all DMMs) |
+//! | [`convolution`] | Theorem 8 (DMM/UMM), Theorem 9 / Corollary 10 (HMM) |
+//! | [`prefix`] | extension: prefix-sums via shared-memory staging (paper ref \[17\]) |
+//! | [`permutation`] | extension: conflict-free offline permutation on the DMM (refs \[13\], \[19\]) |
+//! | [`mod@reference`] | sequential baselines (the "Sequential" column of Table I) |
+
+#![warn(missing_docs)]
+
+pub mod contiguous;
+pub mod convolution;
+pub mod matmul;
+pub mod permutation;
+pub mod prefix;
+pub mod reduce;
+pub mod reference;
+pub mod sort;
+pub mod string_match;
+pub mod sum;
+
+/// Next power of two, minimum 1. Shared by the tree-reduction builders.
+#[must_use]
+pub(crate) fn next_pow2(x: usize) -> usize {
+    x.max(1).next_power_of_two()
+}
+
+/// Integer ceiling division.
+#[must_use]
+pub(crate) fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}

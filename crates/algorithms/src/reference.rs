@@ -1,0 +1,138 @@
+//! Sequential reference algorithms — the "Sequential" column of Table I.
+//!
+//! Besides producing ground-truth values for every parallel kernel's
+//! correctness checks, each function also reports the number of RAM
+//! operations a single-threaded machine performs, so the Sequential row of
+//! Table I is *measured* like every other row: `O(n)` for the sum and
+//! `O(kn)` for the direct convolution.
+
+use hmm_machine::Word;
+
+/// A sequential result paired with the exact operation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqRun<T> {
+    /// The computed value.
+    pub value: T,
+    /// Fundamental operations executed (loads + arithmetic + stores).
+    pub ops: u64,
+}
+
+/// Sequential sum: `n` loads and `n` additions.
+#[must_use]
+pub fn sum(input: &[Word]) -> SeqRun<Word> {
+    let mut acc: Word = 0;
+    for &x in input {
+        acc = acc.wrapping_add(x);
+    }
+    SeqRun {
+        value: acc,
+        ops: 2 * input.len() as u64,
+    }
+}
+
+/// Sequential direct convolution of `a` (length `k`) and `b`
+/// (length `n + k − 1`), producing `c` of length `n` with
+/// `c[i] = Σ_j a[j]·b[i+j]` — the paper's Section V definition.
+///
+/// # Panics
+/// Panics if `a` is empty or `b.len() + 1 < a.len()`.
+#[must_use]
+pub fn convolution(a: &[Word], b: &[Word]) -> SeqRun<Vec<Word>> {
+    let k = a.len();
+    assert!(k > 0, "kernel must be non-empty");
+    assert!(b.len() + 1 >= k, "b must have length n + k - 1 with n >= 1");
+    let n = b.len() + 1 - k;
+    let mut c = vec![0 as Word; n];
+    let mut ops = 0u64;
+    for (i, ci) in c.iter_mut().enumerate() {
+        let mut acc: Word = 0;
+        for j in 0..k {
+            acc = acc.wrapping_add(a[j].wrapping_mul(b[i + j]));
+            ops += 4; // two loads, one multiply, one add
+        }
+        *ci = acc;
+        ops += 1; // store
+    }
+    SeqRun { value: c, ops }
+}
+
+/// Sequential prefix sums (inclusive): `out[i] = x[0] + ... + x[i]`.
+#[must_use]
+pub fn prefix_sums(input: &[Word]) -> SeqRun<Vec<Word>> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc: Word = 0;
+    for &x in input {
+        acc = acc.wrapping_add(x);
+        out.push(acc);
+    }
+    SeqRun {
+        ops: 3 * input.len() as u64,
+        value: out,
+    }
+}
+
+/// Apply a permutation: `out[perm[i]] = input[i]`.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..input.len()`.
+#[must_use]
+pub fn permute(input: &[Word], perm: &[usize]) -> SeqRun<Vec<Word>> {
+    assert_eq!(input.len(), perm.len());
+    let mut out = vec![0 as Word; input.len()];
+    let mut seen = vec![false; input.len()];
+    for (i, &dst) in perm.iter().enumerate() {
+        assert!(dst < input.len() && !seen[dst], "not a permutation");
+        seen[dst] = true;
+        out[dst] = input[i];
+    }
+    SeqRun {
+        ops: 2 * input.len() as u64,
+        value: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_counts_ops_linearly() {
+        let r = sum(&[1, 2, 3, 4]);
+        assert_eq!(r.value, 10);
+        assert_eq!(r.ops, 8);
+        assert_eq!(sum(&[]).value, 0);
+    }
+
+    #[test]
+    fn convolution_definition_matches_paper() {
+        // k = 2, n = 3: c[i] = a[0] b[i] + a[1] b[i+1].
+        let r = convolution(&[10, 1], &[1, 2, 3, 4]);
+        assert_eq!(r.value, vec![12, 23, 34]);
+        assert_eq!(r.ops, (4 * 2 + 1) * 3);
+    }
+
+    #[test]
+    fn convolution_with_impulse_is_identity() {
+        let b = [5, -3, 8, 0, 2];
+        let r = convolution(&[1, 0, 0], &b);
+        assert_eq!(r.value, vec![5, -3, 8]);
+    }
+
+    #[test]
+    fn prefix_sums_accumulate() {
+        assert_eq!(prefix_sums(&[1, 2, 3]).value, vec![1, 3, 6]);
+        assert!(prefix_sums(&[]).value.is_empty());
+    }
+
+    #[test]
+    fn permute_routes_values() {
+        let r = permute(&[10, 20, 30], &[2, 0, 1]);
+        assert_eq!(r.value, vec![20, 30, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_duplicates() {
+        let _ = permute(&[1, 2], &[0, 0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation sweep for the convolution algorithms (Theorem 8 vs
+//! Theorem 9):
+//!
+//! 1. **Kernel-length sweep** — fixed machine; growing `k` shows the
+//!    HMM's `d`-fold advantage on the compute term `nk/(dw)` and where
+//!    the staging overhead `(n + dk)/w` stops mattering (Corollary 10's
+//!    `k ≥ dl/w` regime).
+//! 2. **Latency sweep** — the single-memory algorithm pays `l` inside the
+//!    multiply-accumulate stream once warps run out; the HMM pays it only
+//!    during staging.
+//!
+//! Run with `cargo run --release -p hmm-bench --bin sweep_conv`.
+
+use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
+use hmm_bench::{dump, header, row, Measurement};
+use hmm_core::Machine;
+use hmm_theory::{table1, Params};
+use hmm_workloads::random_words;
+
+fn main() {
+    let n = 1 << 12;
+    let (w, d, p) = (32usize, 16usize, 2048usize);
+    let mut ms = Vec::new();
+
+    println!("== Sweep 1: kernel length k (n = {n}, w = {w}, d = {d}, p = {p}, l = 256) ==\n");
+    header(&["k", "umm-T8", "hmm-T9", "T9-pred", "speedup"]);
+    let l = 256;
+    for &k in &[4usize, 8, 16, 32, 64, 128] {
+        let a = random_words(k, k as u64, 50);
+        let b = random_words(n + k - 1, 77, 50);
+
+        let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
+        let t8 = run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().report.time;
+
+        let m_slice = n.div_ceil(d);
+        let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
+        let t9 = run_conv_hmm(&mut hmm, &a, &b, p).unwrap().report.time;
+
+        let pr = Params { n, k, p, w, l, d };
+        let pred = table1::conv_hmm(pr);
+        row(&[
+            k.to_string(),
+            t8.to_string(),
+            t9.to_string(),
+            format!("{pred:.0}"),
+            format!("{:.2}x", t8 as f64 / t9 as f64),
+        ]);
+        ms.push(Measurement::new("sweep_conv/k/umm", pr, t8, table1::conv_dmm_umm(
+            Params { p: p.min(n), ..pr },
+        )));
+        ms.push(Measurement::new("sweep_conv/k/hmm", pr, t9, pred));
+    }
+
+    println!("\n== Sweep 2: latency l (n = {n}, k = 32, w = {w}, d = {d}, p = {p}) ==\n");
+    header(&["l", "umm-T8", "hmm-T9", "speedup"]);
+    let k = 32;
+    let a = random_words(k, 9, 50);
+    let b = random_words(n + k - 1, 10, 50);
+    for &l in &[1usize, 16, 64, 256, 512] {
+        let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
+        let t8 = run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().report.time;
+
+        let m_slice = n.div_ceil(d);
+        let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
+        let t9 = run_conv_hmm(&mut hmm, &a, &b, p).unwrap().report.time;
+
+        let pr = Params { n, k, p, w, l, d };
+        row(&[
+            l.to_string(),
+            t8.to_string(),
+            t9.to_string(),
+            format!("{:.2}x", t8 as f64 / t9 as f64),
+        ]);
+        ms.push(Measurement::new("sweep_conv/l/umm", pr, t8, table1::conv_dmm_umm(
+            Params { p: p.min(n), ..pr },
+        )));
+        ms.push(Measurement::new("sweep_conv/l/hmm", pr, t9, table1::conv_hmm(pr)));
+    }
+
+    dump("sweep_conv", &ms);
+}

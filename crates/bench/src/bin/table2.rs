@@ -1,0 +1,124 @@
+//! Regenerate **Table II** of the paper: the four lower-bound limitations
+//! (speed-up, bandwidth, latency, reduction) per model, checked against
+//! the measured time of the matching optimal algorithm.
+//!
+//! For every sweep point the binary prints the individual limitation
+//! terms, their sum, the measured time, and `measured / LB-total` — the
+//! empirical optimality constant the paper's theorems say is O(1).
+//!
+//! Run with `cargo run --release -p hmm-bench --bin table2`.
+
+use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
+use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm};
+use hmm_bench::{dump, header, row, Measurement};
+use hmm_core::Machine;
+use hmm_pram::algorithms as pram_algos;
+use hmm_theory::table2::LowerBound;
+use hmm_theory::{table2, Params};
+use hmm_workloads::random_words;
+
+fn params(n: usize, k: usize, p: usize, w: usize, l: usize, d: usize) -> Params {
+    Params { n, k, p, w, l, d }
+}
+
+fn fmt_term(t: Option<f64>) -> String {
+    t.map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
+}
+
+fn print_point(
+    label: &str,
+    pr: Params,
+    lb: LowerBound,
+    measured: u64,
+    valid: &mut bool,
+) -> Measurement {
+    *valid &= measured as f64 >= lb.max_term();
+    row(&[
+        label.to_string(),
+        pr.n.to_string(),
+        pr.k.to_string(),
+        pr.p.to_string(),
+        fmt_term(lb.speedup),
+        fmt_term(lb.bandwidth),
+        fmt_term(lb.latency),
+        fmt_term(lb.reduction),
+        format!("{:.0}", lb.total()),
+        measured.to_string(),
+        format!("{:.2}", measured as f64 / lb.total()),
+    ]);
+    Measurement::new(&format!("table2/{label}"), pr, measured, lb.total())
+}
+
+fn main() {
+    let (w, l, d) = (32usize, 256usize, 16usize);
+    println!("== Table II: lower-bound limitations vs measured time ==");
+    println!("machine: w = {w}, l = {l}, d = {d}\n");
+    header(&[
+        "model", "n", "k", "p", "speedup", "bandwidth", "latency", "reduction", "LB-total",
+        "measured", "meas/LB",
+    ]);
+
+    let mut ms = Vec::new();
+    let mut valid = true;
+
+    // --- Sum ---------------------------------------------------------------
+    for &(n, p) in &[(1usize << 14, 2048usize), (1 << 16, 8192)] {
+        let input = random_words(n, 1, 100);
+
+        let (_, pram_rep) = pram_algos::run_sum(&input, p).expect("pram");
+        ms.push(print_point(
+            "sum/pram",
+            params(n, 1, p, 1, 1, 1),
+            table2::sum_pram(n, p),
+            pram_rep.time,
+            &mut valid,
+        ));
+
+        let mut umm = Machine::umm(w, l, n.next_power_of_two());
+        let du = run_sum_dmm_umm(&mut umm, &input, p).expect("umm");
+        let pr = params(n, 1, p, w, l, 1);
+        ms.push(print_point("sum/dmm_umm", pr, table2::sum_dmm_umm(pr), du.report.time, &mut valid));
+
+        let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64));
+        let hm = run_sum_hmm(&mut hmm, &input, p).expect("hmm");
+        let pr = params(n, 1, p, w, l, d);
+        ms.push(print_point("sum/hmm", pr, table2::sum_hmm(pr), hm.report.time, &mut valid));
+    }
+
+    // --- Direct convolution --------------------------------------------------
+    for &(n, k, p) in &[(1usize << 12, 32usize, 2048usize), (1 << 14, 64, 4096)] {
+        let a = random_words(k, 2, 50);
+        let b = random_words(n + k - 1, 3, 50);
+
+        let (_, pram_rep) = pram_algos::run_convolution(&a, &b, p).expect("pram");
+        ms.push(print_point(
+            "conv/pram",
+            params(n, k, p.min(n), 1, 1, 1),
+            table2::conv_pram(n, k, p.min(n)),
+            pram_rep.time,
+            &mut valid,
+        ));
+
+        let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
+        let du = run_conv_dmm_umm(&mut umm, &a, &b, p).expect("umm");
+        let pr = params(n, k, p.min(n), w, l, 1);
+        ms.push(print_point("conv/dmm_umm", pr, table2::conv_dmm_umm(pr), du.report.time, &mut valid));
+
+        let m_slice = n.div_ceil(d);
+        let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
+        let hm = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm");
+        let pr = params(n, k, p, w, l, d);
+        ms.push(print_point("conv/hmm", pr, table2::conv_hmm(pr), hm.report.time, &mut valid));
+    }
+
+    // Validity: measured time must dominate every individual limitation.
+    println!(
+        "\n  every measured time >= its largest limitation term: {}",
+        if valid { "yes" } else { "NO (check!)" }
+    );
+    let worst = ms.iter().map(|m| m.ratio).fold(0.0f64, f64::max);
+    println!("  worst measured / LB-total (empirical optimality constant): {worst:.2}");
+
+    dump("table2", &ms);
+}

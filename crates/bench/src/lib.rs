@@ -1,0 +1,127 @@
+//! # hmm-bench — experiment harness
+//!
+//! Shared helpers for the table-generator binaries (`table1`, `table2`,
+//! `fig4`, `sweep_sum`, `sweep_conv`) and the Criterion benches. The
+//! binaries print the paper's tables with *measured* simulated time units
+//! next to the closed-form predictions, and dump machine-readable JSON to
+//! `target/experiments/` for `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One measured sweep point, serialised into the experiment dumps.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Experiment id, e.g. "table1/sum/hmm".
+    pub experiment: String,
+    /// Input size `n`.
+    pub n: usize,
+    /// Kernel length `k` (1 for sum).
+    pub k: usize,
+    /// Threads `p`.
+    pub p: usize,
+    /// Width `w`.
+    pub w: usize,
+    /// Latency `l`.
+    pub l: usize,
+    /// DMMs `d`.
+    pub d: usize,
+    /// Measured simulated time units.
+    pub measured: u64,
+    /// Closed-form prediction (unit constants).
+    pub predicted: f64,
+    /// measured / predicted.
+    pub ratio: f64,
+}
+
+impl Measurement {
+    /// Build a measurement from a sweep point and its outcome.
+    #[must_use]
+    pub fn new(
+        experiment: &str,
+        pr: hmm_theory::Params,
+        measured: u64,
+        predicted: f64,
+    ) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            n: pr.n,
+            k: pr.k,
+            p: pr.p,
+            w: pr.w,
+            l: pr.l,
+            d: pr.d,
+            measured,
+            predicted,
+            ratio: measured as f64 / predicted,
+        }
+    }
+}
+
+/// Where experiment dumps land.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Write a JSON dump of measurements.
+pub fn dump(name: &str, measurements: &[Measurement]) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(measurements).expect("serialise measurements");
+    fs::write(&path, json).expect("write experiment dump");
+    println!("\n  [dump] {}", path.display());
+}
+
+/// Print a header row for a fixed-width table.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+    println!("{}", "-".repeat(13 * cols.len()));
+}
+
+/// Print one fixed-width row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Summarise a measurement set with the envelope fit.
+pub fn summarise(name: &str, ms: &[Measurement]) {
+    let pairs: Vec<(f64, f64)> = ms
+        .iter()
+        .map(|m| (m.measured as f64, m.predicted))
+        .collect();
+    let fit = hmm_theory::envelope::fit(&pairs);
+    println!(
+        "  {name}: {} points, constant {:.2}, ratio band [{:.2}, {:.2}], spread {:.2}",
+        fit.points, fit.constant, fit.min_ratio, fit.max_ratio, fit.spread
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_theory::Params;
+
+    #[test]
+    fn measurement_computes_ratio() {
+        let pr = Params {
+            n: 8,
+            k: 1,
+            p: 2,
+            w: 2,
+            l: 1,
+            d: 1,
+        };
+        let m = Measurement::new("x", pr, 10, 5.0);
+        assert!((m.ratio - 2.0).abs() < 1e-12);
+        assert_eq!(m.experiment, "x");
+    }
+}

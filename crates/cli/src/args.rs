@@ -1,0 +1,186 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No command word was given.
+    MissingCommand,
+    /// A flag was not followed by a value.
+    MissingValue(String),
+    /// A token did not start with `--` where a flag was expected.
+    NotAFlag(String),
+    /// A numeric value failed to parse.
+    BadNumber(String, String),
+    /// An enum-ish value was not one of the allowed words.
+    BadChoice(String, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing command"),
+            ParseError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
+            ParseError::NotAFlag(t) => write!(f, "expected a --flag, got {t:?}"),
+            ParseError::BadNumber(k, v) => write!(f, "--{k}: {v:?} is not a number"),
+            ParseError::BadChoice(k, v) => write!(f, "--{k}: unknown choice {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed command line: the command word plus its `--key value` pairs
+/// and boolean `--flag`s (flags whose next token is another flag or the
+/// end of input).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The command word.
+    pub command: String,
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw tokens (without the program name).
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] describing the first malformed token.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ParseError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ParseError::MissingCommand)?;
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ParseError::NotAFlag(tok.clone()))?
+                .to_string();
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let val = it.next().expect("peeked");
+                    args.values.insert(key, val);
+                }
+                _ => args.switches.push(key),
+            }
+        }
+        Ok(args)
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    /// Returns [`ParseError::BadNumber`] when present but malformed.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ParseError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError::BadNumber(key.into(), v.clone())),
+        }
+    }
+
+    /// A u64 flag with a default.
+    ///
+    /// # Errors
+    /// Returns [`ParseError::BadNumber`] when present but malformed.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ParseError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError::BadNumber(key.into(), v.clone())),
+        }
+    }
+
+    /// A string flag with a default.
+    #[must_use]
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a boolean switch was given.
+    #[must_use]
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Validate a choice flag against allowed words.
+    ///
+    /// # Errors
+    /// Returns [`ParseError::BadChoice`] for unknown words.
+    pub fn get_choice(
+        &self,
+        key: &str,
+        default: &str,
+        allowed: &[&str],
+    ) -> Result<String, ParseError> {
+        let v = self.get_str(key, default);
+        if allowed.contains(&v.as_str()) {
+            Ok(v)
+        } else {
+            Err(ParseError::BadChoice(key.into(), v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(toks("sum --n 1024 --machine hmm --json --p 64")).unwrap();
+        assert_eq!(a.command, "sum");
+        assert_eq!(a.get_usize("n", 0).unwrap(), 1024);
+        assert_eq!(a.get_str("machine", "dmm"), "hmm");
+        assert!(a.has("json"));
+        assert!(!a.has("trace"));
+        assert_eq!(a.get_usize("p", 0).unwrap(), 64);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            Args::parse(toks("")),
+            Err(ParseError::MissingCommand)
+        ));
+        assert!(matches!(
+            Args::parse(toks("sum n 5")),
+            Err(ParseError::NotAFlag(_))
+        ));
+        let a = Args::parse(toks("sum --n five")).unwrap();
+        assert!(matches!(
+            a.get_usize("n", 0),
+            Err(ParseError::BadNumber(..))
+        ));
+        assert!(matches!(
+            a.get_choice("op", "plus", &["sum", "min"]),
+            Err(ParseError::BadChoice(..))
+        ));
+    }
+
+    #[test]
+    fn trailing_switch_is_a_switch() {
+        let a = Args::parse(toks("sort --n 16 --json")).unwrap();
+        assert!(a.has("json"));
+        assert_eq!(a.get_usize("n", 0).unwrap(), 16);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ParseError::MissingValue("x".into()).to_string().contains("x"));
+        assert!(ParseError::BadNumber("n".into(), "z".into()).to_string().contains("n"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # hmm-cli — command-line front end for the HMM simulator
+//!
+//! ```text
+//! hmm-cli <command> [--key value]...
+//!
+//! commands:
+//!   sum        the paper's optimal sum (Lemma 5 / Theorem 7 by machine)
+//!   reduce     generalised reduction (--op sum|min|max)
+//!   conv       direct convolution (Theorem 8 / Theorem 9)
+//!   prefix     prefix sums
+//!   sort       bitonic sort
+//!   info       print machine presets
+//!
+//! common flags:
+//!   --machine dmm|umm|hmm   (default hmm)
+//!   --n N --k K --p P --w W --l L --d D
+//!   --seed S                workload seed
+//!   --json                  machine-readable output
+//! ```
+//!
+//! The argument grammar is `--key value` pairs after the command; the
+//! parser is in [`args`], the command implementations in [`run`].
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod run;
+
+pub use args::{Args, ParseError};
+pub use run::{execute, Outcome};

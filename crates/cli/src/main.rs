@@ -1,0 +1,35 @@
+//! The `hmm-cli` binary. See the crate docs for the grammar.
+
+use std::io::Write;
+
+use hmm_cli::{execute, Args};
+
+/// Print to stdout, exiting quietly if the pipe closed (e.g. `| head`).
+fn emit(text: &str) {
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    if tokens.is_empty() || tokens[0] == "--help" || tokens[0] == "help" {
+        emit(
+            "hmm-cli — run the HMM paper's algorithms on simulated machines\n\n\
+             usage: hmm-cli <sum|reduce|conv|prefix|sort|info> [--key value]... [--json]\n\
+             flags: --machine dmm|umm|hmm  --n --k --p --w --l --d --seed --op sum|min|max\n\n\
+             example: hmm-cli conv --machine hmm --n 4096 --k 64 --p 2048 --d 16 --json",
+        );
+        return;
+    }
+    match Args::parse(tokens)
+        .map_err(hmm_cli::run::CliError::Parse)
+        .and_then(|a| execute(&a).map(|o| (a.has("json"), o)))
+    {
+        Ok((json, outcome)) => emit(&hmm_cli::run::render(&outcome, json)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Command implementations.
+
+use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
+use hmm_algorithms::prefix::{prefix_shared_words, run_prefix_dmm_umm, run_prefix_hmm};
+use hmm_algorithms::reduce::{run_reduce_dmm_umm, run_reduce_hmm, ReduceOp};
+use hmm_algorithms::sort::{run_sort_hmm, run_sort_umm};
+use hmm_core::{presets, Machine};
+use hmm_machine::SimReport;
+use hmm_workloads::random_words;
+
+use crate::args::{Args, ParseError};
+
+/// What a command produced: a one-line human summary, the simulation
+/// report, and a value digest for verification.
+#[derive(Debug)]
+pub struct Outcome {
+    /// One-line human-readable summary.
+    pub summary: String,
+    /// The simulation report (None for `info`).
+    pub report: Option<SimReport>,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Parse(ParseError),
+    /// Simulation failure.
+    Sim(hmm_machine::SimError),
+    /// Unknown command word.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Parse(e) => write!(f, "argument error: {e}"),
+            CliError::Sim(e) => write!(f, "simulation error: {e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, info)"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<hmm_machine::SimError> for CliError {
+    fn from(e: hmm_machine::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+struct MachineSpec {
+    kind: String,
+    n: usize,
+    k: usize,
+    p: usize,
+    w: usize,
+    l: usize,
+    d: usize,
+    seed: u64,
+}
+
+fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
+    let kind = a.get_choice("machine", "hmm", &["dmm", "umm", "hmm"])?;
+    Ok(MachineSpec {
+        kind,
+        n: a.get_usize("n", 1 << 14)?,
+        k: a.get_usize("k", 32)?,
+        p: a.get_usize("p", 2048)?,
+        w: a.get_usize("w", 32)?,
+        l: a.get_usize("l", 256)?,
+        d: a.get_usize("d", 16)?,
+        seed: a.get_u64("seed", 1)?,
+    })
+}
+
+impl MachineSpec {
+    fn build(&self, global: usize, shared: usize) -> Machine {
+        match self.kind.as_str() {
+            "dmm" => Machine::dmm(self.w, self.l, global),
+            "umm" => Machine::umm(self.w, self.l, global),
+            _ => Machine::hmm(self.d, self.w, self.l, global, shared),
+        }
+    }
+
+    /// Clamp p to a multiple of d for the HMM algorithms.
+    fn p_multiple_of_d(&self) -> usize {
+        if self.kind == "hmm" {
+            (self.p / self.d).max(1) * self.d
+        } else {
+            self.p
+        }
+    }
+}
+
+/// Execute a parsed command line.
+///
+/// # Errors
+/// Returns a [`CliError`] for bad arguments or simulation failures.
+#[allow(clippy::too_many_lines)]
+pub fn execute(a: &Args) -> Result<Outcome, CliError> {
+    match a.command.as_str() {
+        "info" => {
+            let g = presets::gtx580();
+            Ok(Outcome {
+                summary: format!(
+                    "presets: gtx580(d={}, w={}, l={}), medium(d=4, w=16, l=64), tiny(d=2, w=4, l=8)",
+                    g.d, g.w, g.l
+                ),
+                report: None,
+            })
+        }
+        "sum" | "reduce" => {
+            let spec = machine_spec(a)?;
+            let op = match a.get_choice("op", "sum", &["sum", "min", "max"])?.as_str() {
+                "min" => ReduceOp::Min,
+                "max" => ReduceOp::Max,
+                _ => ReduceOp::Sum,
+            };
+            let input = random_words(spec.n, spec.seed, 1000);
+            let expect = op.fold(&input);
+            let run = if spec.kind == "hmm" {
+                let p = spec.p_multiple_of_d();
+                let shared = (p / spec.d).next_power_of_two().max(8);
+                let mut m = spec.build(spec.n + 2 * spec.d.next_power_of_two() + 8, shared);
+                run_reduce_hmm(&mut m, &input, p, op)?
+            } else {
+                let mut m = spec.build(spec.n.next_power_of_two(), 0);
+                run_reduce_dmm_umm(&mut m, &input, spec.p, op)?
+            };
+            assert_eq!(run.value, expect, "result mismatch vs host fold");
+            Ok(Outcome {
+                summary: format!(
+                    "{:?} of n={} on {}: value {} in {} time units",
+                    op, spec.n, spec.kind, run.value, run.report.time
+                ),
+                report: Some(run.report),
+            })
+        }
+        "conv" => {
+            let spec = machine_spec(a)?;
+            let av = random_words(spec.k, spec.seed, 50);
+            let bv = random_words(spec.n + spec.k - 1, spec.seed + 1, 50);
+            let run = if spec.kind == "hmm" {
+                let p = spec.p_multiple_of_d();
+                let m_slice = spec.n.div_ceil(spec.d);
+                let mut m = spec.build(
+                    2 * (spec.n + 2 * spec.k),
+                    shared_words(m_slice, spec.k) + 8,
+                );
+                run_conv_hmm(&mut m, &av, &bv, p)?
+            } else {
+                let mut m = spec.build(2 * (spec.n + 2 * spec.k), 0);
+                run_conv_dmm_umm(&mut m, &av, &bv, spec.p)?
+            };
+            Ok(Outcome {
+                summary: format!(
+                    "convolution n={} k={} on {}: c[0]={} in {} time units",
+                    spec.n, spec.k, spec.kind, run.value[0], run.report.time
+                ),
+                report: Some(run.report),
+            })
+        }
+        "prefix" => {
+            let spec = machine_spec(a)?;
+            let input = random_words(spec.n, spec.seed, 1000);
+            let run = if spec.kind == "hmm" {
+                let p = spec.p_multiple_of_d();
+                let chunk = spec.n.div_ceil(spec.d);
+                let shared = prefix_shared_words(chunk, p / spec.d, spec.d);
+                let mut m = spec.build(2 * spec.n + spec.d + 8, shared);
+                run_prefix_hmm(&mut m, &input, p)?
+            } else {
+                let mut m = spec.build(3 * spec.n.next_power_of_two(), 0);
+                run_prefix_dmm_umm(&mut m, &input, spec.p)?
+            };
+            Ok(Outcome {
+                summary: format!(
+                    "prefix sums n={} on {}: last={} in {} time units",
+                    spec.n,
+                    spec.kind,
+                    run.value.last().copied().unwrap_or(0),
+                    run.report.time
+                ),
+                report: Some(run.report),
+            })
+        }
+        "sort" => {
+            let spec = machine_spec(a)?;
+            let input = random_words(spec.n, spec.seed, 1_000_000);
+            let run = if spec.kind == "hmm" {
+                let p = spec.p_multiple_of_d();
+                let n2 = spec.n.next_power_of_two().max(2 * spec.d);
+                let mut m = spec.build(n2, n2 / spec.d);
+                run_sort_hmm(&mut m, &input, p)?
+            } else {
+                let mut m = spec.build(spec.n.next_power_of_two().max(2), 0);
+                run_sort_umm(&mut m, &input, spec.p)?
+            };
+            let sorted_ok = run.value.windows(2).all(|p| p[0] <= p[1]);
+            assert!(sorted_ok, "output not sorted");
+            Ok(Outcome {
+                summary: format!(
+                    "bitonic sort n={} on {}: sorted=true in {} time units",
+                    spec.n, spec.kind, run.report.time
+                ),
+                report: Some(run.report),
+            })
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Render an outcome as text or JSON.
+#[must_use]
+pub fn render(outcome: &Outcome, json: bool) -> String {
+    if json {
+        let report = outcome
+            .report
+            .as_ref()
+            .map(|r| serde_json::to_value(r).expect("report serialises"))
+            .unwrap_or(serde_json::Value::Null);
+        serde_json::to_string_pretty(&serde_json::json!({
+            "summary": outcome.summary,
+            "report": report,
+        }))
+        .expect("json encodes")
+    } else {
+        let mut out = outcome.summary.clone();
+        if let Some(r) = &outcome.report {
+            out.push_str(&format!(
+                "\n  instructions {}  global slots {} (util {:.2})  shared slots {}  barriers {}",
+                r.instructions,
+                r.global.slots,
+                r.global_utilization(),
+                r.shared.slots,
+                r.barriers
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<Outcome, CliError> {
+        let args = Args::parse(line.split_whitespace().map(String::from))?;
+        execute(&args)
+    }
+
+    #[test]
+    fn info_runs() {
+        let o = run_line("info").unwrap();
+        assert!(o.summary.contains("gtx580"));
+        assert!(o.report.is_none());
+    }
+
+    #[test]
+    fn sum_runs_on_all_machines() {
+        for m in ["dmm", "umm", "hmm"] {
+            let o = run_line(&format!("sum --machine {m} --n 512 --p 64 --w 8 --l 8 --d 4"))
+                .unwrap();
+            assert!(o.report.is_some(), "{m}");
+        }
+    }
+
+    #[test]
+    fn reduce_min_and_max() {
+        for op in ["min", "max"] {
+            let o = run_line(&format!(
+                "reduce --op {op} --machine hmm --n 256 --p 32 --w 4 --l 4 --d 4"
+            ))
+            .unwrap();
+            assert!(o.summary.contains("time units"));
+        }
+    }
+
+    #[test]
+    fn conv_prefix_sort_run() {
+        for cmd in [
+            "conv --n 128 --k 8 --p 32 --w 8 --l 8 --d 4",
+            "prefix --n 200 --p 32 --w 8 --l 8 --d 4",
+            "sort --n 100 --p 32 --w 8 --l 8 --d 4",
+            "sort --machine umm --n 64 --p 16 --w 4 --l 4",
+        ] {
+            let o = run_line(cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+            assert!(o.report.is_some(), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(matches!(
+            run_line("frobnicate"),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn render_text_and_json() {
+        let o = run_line("sum --machine umm --n 64 --p 8 --w 4 --l 2").unwrap();
+        let text = render(&o, false);
+        assert!(text.contains("instructions"));
+        let json = render(&o, true);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["report"]["time"].as_u64().unwrap() > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The abstract syntax of kernel programs.
+
+use hmm_machine::isa::{BinOp, Scope, Space};
+use hmm_machine::Word;
+
+/// A local variable handle, allocated by
+/// [`crate::compile::KernelBuilder::var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The engine-provided thread identifiers and launch parameters
+/// (the ABI registers of [`hmm_machine::abi`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// Global thread id.
+    Gid,
+    /// DMM index.
+    Dmm,
+    /// Local thread id within the DMM.
+    Ltid,
+    /// Total threads `p`.
+    P,
+    /// Threads on this DMM.
+    Pd,
+    /// Width `w`.
+    W,
+    /// DMM count `d`.
+    D,
+    /// Global latency `l`.
+    L,
+    /// User argument word `i`.
+    Arg(usize),
+}
+
+/// An expression tree. Every node evaluates to one machine word.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Imm(Word),
+    /// A local variable.
+    Var(Var),
+    /// An ABI value.
+    Special(Special),
+    /// A binary ALU operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond != 0 ? a : b`, branch-free.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A memory load `mem[addr]`. Loads inside expressions issue real
+    /// memory requests with the model's full cost semantics.
+    Load(Space, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Set(Var, Expr),
+    /// `mem[addr] = value`.
+    Store(Space, Expr, Expr),
+    /// `if cond != 0 { then } else { otherwise }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while cond != 0 { body }`.
+    While(Expr, Vec<Stmt>),
+    /// Barrier synchronisation.
+    Barrier(Scope),
+    /// One idle time unit.
+    Nop,
+}
+
+/// Expression constructors, designed to be glob-imported.
+pub mod helpers {
+    use super::{Expr, Special, Var};
+    use hmm_machine::isa::{BinOp, Space};
+    use hmm_machine::Word;
+
+    /// A constant.
+    #[must_use]
+    pub fn imm(v: impl Into<Word>) -> Expr {
+        Expr::Imm(v.into())
+    }
+
+    /// A constant from a usize (convenience for sizes).
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn immu(v: usize) -> Expr {
+        Expr::Imm(v as Word)
+    }
+
+    /// Read a variable.
+    #[must_use]
+    pub fn v(var: Var) -> Expr {
+        Expr::Var(var)
+    }
+
+    /// Global thread id.
+    #[must_use]
+    pub fn gid() -> Expr {
+        Expr::Special(Special::Gid)
+    }
+
+    /// DMM index.
+    #[must_use]
+    pub fn dmm() -> Expr {
+        Expr::Special(Special::Dmm)
+    }
+
+    /// Local thread id.
+    #[must_use]
+    pub fn ltid() -> Expr {
+        Expr::Special(Special::Ltid)
+    }
+
+    /// Total thread count `p`.
+    #[must_use]
+    pub fn p() -> Expr {
+        Expr::Special(Special::P)
+    }
+
+    /// Threads on this DMM.
+    #[must_use]
+    pub fn pd() -> Expr {
+        Expr::Special(Special::Pd)
+    }
+
+    /// Width `w`.
+    #[must_use]
+    pub fn w() -> Expr {
+        Expr::Special(Special::W)
+    }
+
+    /// DMM count `d`.
+    #[must_use]
+    pub fn d() -> Expr {
+        Expr::Special(Special::D)
+    }
+
+    /// Latency `l`.
+    #[must_use]
+    pub fn l() -> Expr {
+        Expr::Special(Special::L)
+    }
+
+    /// User argument word `i`.
+    #[must_use]
+    pub fn arg(i: usize) -> Expr {
+        Expr::Special(Special::Arg(i))
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b` (wrapping).
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b` (wrapping).
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b` (wrapping).
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Mul, a, b)
+    }
+
+    /// `a / b` (traps on zero divisor).
+    #[must_use]
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Div, a, b)
+    }
+
+    /// `a % b` (traps on zero divisor).
+    #[must_use]
+    pub fn rem(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Rem, a, b)
+    }
+
+    /// `min(a, b)`.
+    #[must_use]
+    pub fn min_(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Min, a, b)
+    }
+
+    /// `max(a, b)`.
+    #[must_use]
+    pub fn max_(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Max, a, b)
+    }
+
+    /// `a & b`.
+    #[must_use]
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::And, a, b)
+    }
+
+    /// `a | b`.
+    #[must_use]
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Or, a, b)
+    }
+
+    /// `a ^ b`.
+    #[must_use]
+    pub fn xor(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Xor, a, b)
+    }
+
+    /// `a << b`.
+    #[must_use]
+    pub fn shl(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Shl, a, b)
+    }
+
+    /// `a >> b` (arithmetic).
+    #[must_use]
+    pub fn shr(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Shr, a, b)
+    }
+
+    /// `(a < b) as word`.
+    #[must_use]
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Slt, a, b)
+    }
+
+    /// `(a <= b) as word`.
+    #[must_use]
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Sle, a, b)
+    }
+
+    /// `(a == b) as word`.
+    #[must_use]
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Seq, a, b)
+    }
+
+    /// `(a != b) as word`.
+    #[must_use]
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Sne, a, b)
+    }
+
+    /// `cond != 0 ? a : b`.
+    #[must_use]
+    pub fn select(cond: Expr, a: Expr, b: Expr) -> Expr {
+        Expr::Select(Box::new(cond), Box::new(a), Box::new(b))
+    }
+
+    /// `global[addr]`.
+    #[must_use]
+    pub fn ld_global(addr: Expr) -> Expr {
+        Expr::Load(Space::Global, Box::new(addr))
+    }
+
+    /// `shared[addr]`.
+    #[must_use]
+    pub fn ld_shared(addr: Expr) -> Expr {
+        Expr::Load(Space::Shared, Box::new(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::helpers::*;
+    use super::*;
+    use hmm_machine::isa::{BinOp, Space};
+
+    #[test]
+    fn helpers_build_the_expected_trees() {
+        let e = add(gid(), imm(3));
+        assert_eq!(
+            e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Special(Special::Gid)),
+                Box::new(Expr::Imm(3))
+            )
+        );
+        let s = select(lt(gid(), p()), imm(1), imm(0));
+        assert!(matches!(s, Expr::Select(..)));
+        assert!(matches!(ld_global(imm(0)), Expr::Load(Space::Global, _)));
+    }
+}

@@ -1,0 +1,186 @@
+//! Reusable kernel fragments — the recurring shapes of every algorithm in
+//! the paper, packaged as functions over [`KernelBuilder`].
+//!
+//! * [`grid_stride`] — the strided per-thread loop of Lemma 1 (`for i =
+//!   gid; i < n; i += p`), the building block of all contiguous phases;
+//! * [`stage_chunk_in`] / [`stage_chunk_out`] — copy this DMM's
+//!   contiguous slice of a global array to/from shared memory, the
+//!   Theorem 9 staging steps;
+//! * [`shared_tree_reduce`] — the Figure 5 pairwise tree over a
+//!   power-of-two shared region, barriered per level with DMM scope
+//!   (Theorem 7's phase 3).
+
+use hmm_machine::isa::Space;
+
+use crate::ast::helpers::{add, gid, immu, ld_global, ld_shared, lt, ltid, p, pd, v};
+use crate::ast::{Expr, Var};
+use crate::compile::KernelBuilder;
+
+/// `for i = gid; i < n; i += p { body(i) }` — the machine-wide
+/// grid-stride loop. `i` must be a variable owned by the caller.
+pub fn grid_stride(k: &mut KernelBuilder, i: Var, n: usize, body: impl FnOnce(&mut KernelBuilder, Var)) {
+    k.for_strided(i, gid(), immu(n), p(), |k| body(k, i));
+}
+
+/// `for i = ltid; i < len; i += pd { body(i) }` — the per-DMM stride.
+pub fn dmm_stride(k: &mut KernelBuilder, i: Var, len: usize, body: impl FnOnce(&mut KernelBuilder, Var)) {
+    k.for_strided(i, ltid(), immu(len), pd(), |k| body(k, i));
+}
+
+/// Stage `len` words from `G[global_base + i]` into `S[shared_base + i]`
+/// with contiguous global reads.
+pub fn stage_chunk_in(
+    k: &mut KernelBuilder,
+    i: Var,
+    global_base: Expr,
+    shared_base: usize,
+    len: usize,
+) {
+    k.for_strided(i, ltid(), immu(len), pd(), |k| {
+        k.store(
+            Space::Shared,
+            add(v(i), immu(shared_base)),
+            ld_global(add(global_base.clone(), v(i))),
+        );
+    });
+}
+
+/// Stage `len` words from `S[shared_base + i]` back to
+/// `G[global_base + i]` with contiguous global writes.
+pub fn stage_chunk_out(
+    k: &mut KernelBuilder,
+    i: Var,
+    global_base: Expr,
+    shared_base: usize,
+    len: usize,
+) {
+    k.for_strided(i, ltid(), immu(len), pd(), |k| {
+        k.store(
+            Space::Global,
+            add(global_base.clone(), v(i)),
+            ld_shared(add(v(i), immu(shared_base))),
+        );
+    });
+}
+
+/// The Figure 5 pairwise tree over `len2` (a power of two) shared cells
+/// at `[base, base + len2)`, DMM-barriered per level. Requires at least
+/// `len2 / 2` threads per DMM. The result lands at `S[base]`.
+///
+/// # Panics
+/// Panics if `len2` is not a power of two.
+pub fn shared_tree_reduce(k: &mut KernelBuilder, base: usize, len2: usize) {
+    assert!(len2.is_power_of_two(), "tree length must be a power of two");
+    let mut h = len2 / 2;
+    while h >= 1 {
+        k.if_(lt(ltid(), immu(h)), |k| {
+            k.store(
+                Space::Shared,
+                add(ltid(), immu(base)),
+                add(
+                    ld_shared(add(ltid(), immu(base))),
+                    ld_shared(add(ltid(), immu(base + h))),
+                ),
+            );
+        });
+        k.bar_dmm();
+        h /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::helpers::{dmm, eq, imm, mul};
+    use hmm_core::{Kernel, LaunchShape, Machine};
+    use hmm_workloads::random_words;
+
+    #[test]
+    fn grid_stride_maps_every_element() {
+        let mut k = KernelBuilder::new();
+        let i = k.var();
+        grid_stride(&mut k, i, 30, |k, i| {
+            k.store(Space::Global, v(i), mul(v(i), imm(2)));
+        });
+        let mut m = Machine::umm(4, 2, 32);
+        m.launch(&Kernel::new("dbl", k.compile().unwrap()), LaunchShape::Even(8))
+            .unwrap();
+        let expect: Vec<i64> = (0..30).map(|x| x * 2).collect();
+        assert_eq!(&m.global()[..30], &expect[..]);
+    }
+
+    /// A full staged per-DMM sum built only from patterns: stage in,
+    /// tree-reduce, write each DMM's result to global.
+    #[test]
+    fn staged_reduce_from_patterns() {
+        let (d, w, l) = (4usize, 4usize, 16usize);
+        let chunk = 64usize;
+        let n = d * chunk;
+        let input = random_words(n, 5, 100);
+
+        let mut k = KernelBuilder::new();
+        let i = k.var();
+        let base = k.var();
+        k.set(base, mul(dmm(), immu(chunk)));
+        stage_chunk_in(&mut k, i, v(base), 0, chunk);
+        k.bar_dmm();
+        shared_tree_reduce(&mut k, 0, chunk);
+        k.if_(eq(ltid(), imm(0)), |k| {
+            k.store(Space::Global, add(dmm(), immu(n)), ld_shared(imm(0)));
+        });
+        let program = k.compile().unwrap();
+
+        let p_threads = d * (chunk / 2);
+        let mut m = Machine::hmm(d, w, l, n + d, chunk);
+        m.load_global(0, &input);
+        m.launch(&Kernel::new("staged-sum", program), LaunchShape::Even(p_threads))
+            .unwrap();
+        for q in 0..d {
+            let expect: i64 = input[q * chunk..(q + 1) * chunk].iter().sum();
+            assert_eq!(m.global()[n + q], expect, "dmm {q}");
+        }
+    }
+
+    #[test]
+    fn stage_out_round_trips() {
+        let (d, chunk) = (2usize, 16usize);
+        let n = d * chunk;
+        let input = random_words(n, 6, 50);
+        let mut k = KernelBuilder::new();
+        let i = k.var();
+        let base = k.var();
+        k.set(base, mul(dmm(), immu(chunk)));
+        stage_chunk_in(&mut k, i, v(base), 0, chunk);
+        k.bar_dmm();
+        stage_chunk_out(&mut k, i, add(v(base), immu(n)), 0, chunk);
+        let mut m = Machine::hmm(d, 4, 4, 2 * n, chunk);
+        m.load_global(0, &input);
+        m.launch(
+            &Kernel::new("roundtrip", k.compile().unwrap()),
+            LaunchShape::Even(8),
+        )
+        .unwrap();
+        assert_eq!(&m.global()[n..2 * n], &input[..]);
+    }
+
+    #[test]
+    fn dmm_stride_is_local() {
+        let mut k = KernelBuilder::new();
+        let i = k.var();
+        dmm_stride(&mut k, i, 4, |k, i| {
+            k.store(Space::Shared, v(i), dmm());
+        });
+        let mut m = Machine::hmm(2, 4, 2, 8, 8);
+        m.launch(&Kernel::new("loc", k.compile().unwrap()), LaunchShape::Even(8))
+            .unwrap();
+        assert_eq!(&m.shared(0)[..4], &[0, 0, 0, 0]);
+        assert_eq!(&m.shared(1)[..4], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tree_rejects_non_pow2() {
+        let mut k = KernelBuilder::new();
+        shared_tree_reduce(&mut k, 0, 6);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pretty-printing of kernel ASTs as pseudo-code.
+//!
+//! Useful for documentation and debugging: the printed form reads like
+//! the paper's algorithm boxes.
+
+use std::fmt::Write as _;
+
+use hmm_machine::isa::{BinOp, Scope, Space};
+
+use crate::ast::{Expr, Special, Stmt};
+
+fn special(s: Special) -> String {
+    match s {
+        Special::Gid => "gid".into(),
+        Special::Dmm => "dmm".into(),
+        Special::Ltid => "ltid".into(),
+        Special::P => "p".into(),
+        Special::Pd => "pd".into(),
+        Special::W => "w".into(),
+        Special::D => "d".into(),
+        Special::L => "l".into(),
+        Special::Arg(i) => format!("arg{i}"),
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Slt => "<",
+        BinOp::Sle => "<=",
+        BinOp::Seq => "==",
+        BinOp::Sne => "!=",
+    }
+}
+
+fn space(s: Space) -> &'static str {
+    match s {
+        Space::Shared => "S",
+        Space::Global => "G",
+    }
+}
+
+/// Render an expression.
+#[must_use]
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Imm(v) => v.to_string(),
+        Expr::Var(v) => format!("v{}", v.0),
+        Expr::Special(s) => special(*s),
+        Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+            format!("{}({}, {})", binop(*op), expr(a), expr(b))
+        }
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a), binop(*op), expr(b)),
+        Expr::Select(c, a, b) => format!("({} ? {} : {})", expr(c), expr(a), expr(b)),
+        Expr::Load(sp, addr) => format!("{}[{}]", space(*sp), expr(addr)),
+    }
+}
+
+fn stmt_into(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Set(v, e) => {
+            let _ = writeln!(out, "{pad}v{} = {}", v.0, expr(e));
+        }
+        Stmt::Store(sp, addr, val) => {
+            let _ = writeln!(out, "{pad}{}[{}] = {}", space(*sp), expr(addr), expr(val));
+        }
+        Stmt::If(c, then_body, else_body) => {
+            let _ = writeln!(out, "{pad}if {} {{", expr(c));
+            for st in then_body {
+                stmt_into(st, indent + 1, out);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for st in else_body {
+                    stmt_into(st, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While(c, body) => {
+            let _ = writeln!(out, "{pad}while {} {{", expr(c));
+            for st in body {
+                stmt_into(st, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Barrier(Scope::Dmm) => {
+            let _ = writeln!(out, "{pad}barrier(dmm)");
+        }
+        Stmt::Barrier(Scope::Global) => {
+            let _ = writeln!(out, "{pad}barrier(global)");
+        }
+        Stmt::Nop => {
+            let _ = writeln!(out, "{pad}nop");
+        }
+    }
+}
+
+/// Render a statement list as indented pseudo-code.
+#[must_use]
+pub fn pretty(body: &[Stmt]) -> String {
+    let mut out = String::new();
+    for s in body {
+        stmt_into(s, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::helpers as h;
+    use crate::ast::Stmt;
+
+    #[test]
+    fn renders_expressions() {
+        assert_eq!(expr(&h::add(h::gid(), h::imm(3))), "(gid + 3)");
+        assert_eq!(expr(&h::min_(h::p(), h::w())), "min(p, w)");
+        assert_eq!(
+            expr(&h::select(h::lt(h::gid(), h::imm(4)), h::imm(1), h::imm(0))),
+            "((gid < 4) ? 1 : 0)"
+        );
+        assert_eq!(expr(&h::ld_shared(h::ltid())), "S[ltid]");
+    }
+
+    #[test]
+    fn renders_structured_statements() {
+        let body = vec![
+            Stmt::Store(hmm_machine::isa::Space::Global, h::gid(), h::imm(1)),
+            Stmt::If(
+                h::lt(h::gid(), h::imm(2)),
+                vec![Stmt::Barrier(hmm_machine::isa::Scope::Dmm)],
+                vec![Stmt::Nop],
+            ),
+            Stmt::While(h::ne(h::gid(), h::imm(0)), vec![Stmt::Nop]),
+        ];
+        let text = pretty(&body);
+        assert!(text.contains("G[gid] = 1"));
+        assert!(text.contains("if (gid < 2) {"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("barrier(dmm)"));
+        assert!(text.contains("while (gid != 0) {"));
+        // Indentation present.
+        assert!(text.lines().any(|l| l.starts_with("  ")));
+    }
+}

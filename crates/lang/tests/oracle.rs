@@ -1,0 +1,99 @@
+//! Property test: compiled expressions compute exactly what a host-side
+//! evaluator computes, for random expression trees and thread counts.
+
+use hmm_core::{Kernel, LaunchShape, Machine};
+use hmm_lang::ast::helpers as h;
+use hmm_lang::{Expr, KernelBuilder, Special};
+use hmm_machine::isa::{BinOp, Space};
+use hmm_machine::Word;
+use proptest::prelude::*;
+
+/// Host-side evaluation of the pure (load-free) expression subset.
+fn eval_host(e: &Expr, gid: Word, p: Word) -> Word {
+    match e {
+        Expr::Imm(v) => *v,
+        Expr::Special(Special::Gid) => gid,
+        Expr::Special(Special::P) => p,
+        Expr::Special(_) | Expr::Var(_) | Expr::Load(..) => unreachable!("not generated"),
+        Expr::Bin(op, a, b) => {
+            let av = eval_host(a, gid, p);
+            let bv = eval_host(b, gid, p);
+            match op {
+                BinOp::Add => av.wrapping_add(bv),
+                BinOp::Sub => av.wrapping_sub(bv),
+                BinOp::Mul => av.wrapping_mul(bv),
+                BinOp::Min => av.min(bv),
+                BinOp::Max => av.max(bv),
+                BinOp::And => av & bv,
+                BinOp::Or => av | bv,
+                BinOp::Xor => av ^ bv,
+                BinOp::Slt => Word::from(av < bv),
+                BinOp::Sle => Word::from(av <= bv),
+                BinOp::Seq => Word::from(av == bv),
+                BinOp::Sne => Word::from(av != bv),
+                _ => unreachable!("not generated"),
+            }
+        }
+        Expr::Select(c, a, b) => {
+            if eval_host(c, gid, p) != 0 {
+                eval_host(a, gid, p)
+            } else {
+                eval_host(b, gid, p)
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::Imm),
+        Just(h::gid()),
+        Just(h::p()),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Min),
+            Just(BinOp::Max),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Slt),
+            Just(BinOp::Sle),
+            Just(BinOp::Seq),
+            Just(BinOp::Sne),
+        ];
+        prop_oneof![
+            (op, inner.clone(), inner.clone())
+                .prop_map(|(o, a, b)| Expr::Bin(o, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Expr::Select(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_expressions_match_the_host(e in expr_strategy(), p in 1usize..16) {
+        let mut k = KernelBuilder::new();
+        k.store(Space::Global, h::gid(), e.clone());
+        let program = match k.compile() {
+            Ok(prog) => prog,
+            // Deep random trees may legitimately exceed the temp stack.
+            Err(_) => return Ok(()),
+        };
+        let mut m = Machine::umm(4, 1, p.max(4));
+        m.launch(&Kernel::new("oracle", program), LaunchShape::Even(p)).unwrap();
+        for g in 0..p {
+            prop_assert_eq!(
+                m.global()[g],
+                eval_host(&e, g as Word, p as Word),
+                "gid {}", g
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Disassembly of [`crate::isa`] programs.
+//!
+//! Every kernel in this workspace is *generated* by a builder, so being
+//! able to read what was generated matters: `Program::disassemble` (via
+//! [`disassemble`]) prints one instruction per line in a simple textual
+//! syntax, with branch targets resolved to `@pc` labels.
+
+use std::fmt::Write as _;
+
+use crate::isa::{BinOp, Inst, Operand, Program, Scope, Space};
+
+fn op(o: Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => format!("{v}"),
+    }
+}
+
+fn space(s: Space) -> &'static str {
+    match s {
+        Space::Shared => "shared",
+        Space::Global => "global",
+    }
+}
+
+fn binop(b: BinOp) -> &'static str {
+    match b {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Slt => "slt",
+        BinOp::Sle => "sle",
+        BinOp::Seq => "seq",
+        BinOp::Sne => "sne",
+    }
+}
+
+/// Render one instruction.
+#[must_use]
+pub fn render_inst(inst: &Inst) -> String {
+    match *inst {
+        Inst::Mov(d, s) => format!("mov   r{}, {}", d.0, op(s)),
+        Inst::Bin(b, d, x, y) => format!("{:<5} r{}, {}, {}", binop(b), d.0, op(x), op(y)),
+        Inst::Sel(d, c, x, y) => {
+            format!("sel   r{}, {}, {}, {}", d.0, op(c), op(x), op(y))
+        }
+        Inst::Ld(d, sp, base, off) => {
+            format!("ld    r{}, {}[{} + {}]", d.0, space(sp), op(base), op(off))
+        }
+        Inst::St(sp, base, off, src) => {
+            format!("st    {}[{} + {}], {}", space(sp), op(base), op(off), op(src))
+        }
+        Inst::Jmp(t) => format!("jmp   @{t}"),
+        Inst::Brz(c, t) => format!("brz   {}, @{t}", op(c)),
+        Inst::Brnz(c, t) => format!("brnz  {}, @{t}", op(c)),
+        Inst::Bar(Scope::Dmm) => "bar   dmm".to_string(),
+        Inst::Bar(Scope::Global) => "bar   global".to_string(),
+        Inst::Nop => "nop".to_string(),
+        Inst::Halt => "halt".to_string(),
+    }
+}
+
+/// Render a whole program, one `pc: inst` line each.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (pc, inst) in program.insts().iter().enumerate() {
+        let _ = writeln!(out, "{pc:>4}: {}", render_inst(inst));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::Reg;
+
+    #[test]
+    fn renders_every_instruction_form() {
+        let mut a = Asm::new();
+        let end = a.label();
+        a.mov(Reg(1), 5);
+        a.add(Reg(2), Reg(1), 3);
+        a.sel(Reg(3), Reg(2), 1, 0);
+        a.ld_global(Reg(4), Reg(0), 8);
+        a.st_shared(Reg(0), 0, Reg(4));
+        a.brz(Reg(3), end);
+        a.brnz(Reg(3), end);
+        a.bar_dmm();
+        a.bar_global();
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let text = disassemble(&a.finish());
+        for needle in [
+            "mov   r1, 5",
+            "add   r2, r1, 3",
+            "sel   r3, r2, 1, 0",
+            "ld    r4, global[r0 + 8]",
+            "st    shared[r0 + 0], r4",
+            "brz   r3, @10",
+            "brnz  r3, @10",
+            "bar   dmm",
+            "bar   global",
+            "nop",
+            "halt",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // One line per instruction, each prefixed by its pc.
+        assert_eq!(text.lines().count(), 11);
+        assert!(text.lines().next().unwrap().starts_with("   0:"));
+    }
+
+    #[test]
+    fn renders_all_binops_distinctly() {
+        use crate::isa::BinOp::*;
+        let ops = [
+            Add, Sub, Mul, Div, Rem, Min, Max, And, Or, Xor, Shl, Shr, Slt, Sle, Seq, Sne,
+        ];
+        let mut names = std::collections::BTreeSet::new();
+        for b in ops {
+            names.insert(binop(b));
+        }
+        assert_eq!(names.len(), ops.len());
+    }
+}

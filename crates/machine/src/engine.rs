@@ -1,0 +1,848 @@
+//! The machine engine: warps, pipelined MMUs, barriers, and the clock.
+//!
+//! One engine simulates all three of the paper's machines:
+//!
+//! * **DMM of width `w`, latency `l`** — one memory with the `Banked`
+//!   conflict policy (`EngineConfig::dmm`).
+//! * **UMM of width `w`, latency `l`** — one memory with the `Coalesced`
+//!   policy (`EngineConfig::umm`).
+//! * **HMM with `d` DMMs** — `d` latency-1 `Banked` shared memories plus
+//!   one latency-`l` `Coalesced` global memory whose single pipeline is
+//!   shared by the warps of every DMM (`EngineConfig::hmm`), exactly the
+//!   architecture of the paper's Figure 2.
+//!
+//! ## Timing semantics (paper Section II–III)
+//!
+//! Time advances in discrete units. Per time unit:
+//!
+//! * every runnable thread executes one instruction (threads are RAMs that
+//!   "execute fundamental operations in a time unit");
+//! * each memory dispatches **one pipeline slot**; a warp transaction that
+//!   serialises into `s` slots occupies `s` consecutive units of that
+//!   memory's pipeline, and requests dispatched at unit `t` complete at the
+//!   end of unit `t + l − 1` — so `k` accesses to one bank cost `k + l − 1`
+//!   units, as stated in the paper;
+//! * a thread that issued a request is blocked until its own request
+//!   completes ("a thread cannot send a new memory access request until
+//!   the previous memory access request is completed");
+//! * warps are dispatched for memory access in turn (round-robin via FIFO
+//!   arrival order), and warps that need no access are never dispatched.
+//!
+//! The headline consequence, which all of the paper's Θ-bounds rely on, is
+//! that with enough warps in flight the pipeline hides latency: `p` threads
+//! streaming `n` contiguous words achieve `O(n/w + nl/p + l)` time — see
+//! `hmm-algorithms::contiguous` for the measured reproduction of Lemma 1
+//! and Theorem 2.
+
+use std::collections::VecDeque;
+
+use crate::bank::BankedMemory;
+use crate::error::{SimError, SimResult};
+use crate::isa::{Program, Reg, Scope, Space};
+use crate::request::{AccessKind, ConflictPolicy, Request, SlotSchedule};
+use crate::stats::SimReport;
+use crate::trace::{MemoryId, Trace, TraceEvent};
+use crate::vm::{step, StepEffect, ThreadState};
+use crate::word::Word;
+use crate::abi;
+
+/// Static description of a machine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of DMMs `d` (1 for the standalone machines).
+    pub dmms: usize,
+    /// Width `w`: warp size, bank count and address-group size.
+    pub width: usize,
+    /// Latency `l` of the global memory.
+    pub global_latency: usize,
+    /// Latency of each shared memory (1 in the paper's HMM).
+    pub shared_latency: usize,
+    /// Conflict policy of the global memory.
+    pub global_policy: ConflictPolicy,
+    /// Conflict policy of the shared memories.
+    pub shared_policy: ConflictPolicy,
+    /// Capacity of the global memory in words.
+    pub global_size: usize,
+    /// Capacity of each shared memory in words (0 disables shared memory,
+    /// as on the standalone DMM / UMM machines).
+    pub shared_size: usize,
+    /// When `false`, a memory waits out the full latency after each slot
+    /// instead of pipelining — the ablation knob for the latency-hiding
+    /// claim.
+    pub pipelined: bool,
+    /// Extra time units between a barrier's last arrival and its release.
+    /// The paper charges 0; reference \[20\] studies machines where
+    /// synchronisation is not free — this knob reproduces that ablation.
+    pub barrier_cost: u64,
+    /// Hard stop: abort with [`SimError::CycleLimit`] beyond this.
+    pub max_cycles: u64,
+    /// Record a [`Trace`] of dispatches/completions/barriers.
+    pub trace: bool,
+}
+
+impl EngineConfig {
+    /// A standalone Discrete Memory Machine of width `w` and latency `l`.
+    /// Its single banked memory is addressed through [`Space::Global`].
+    #[must_use]
+    pub fn dmm(width: usize, latency: usize, size: usize) -> Self {
+        Self {
+            dmms: 1,
+            width,
+            global_latency: latency,
+            shared_latency: 1,
+            global_policy: ConflictPolicy::Banked,
+            shared_policy: ConflictPolicy::Banked,
+            global_size: size,
+            shared_size: 0,
+            pipelined: true,
+            barrier_cost: 0,
+            max_cycles: u64::MAX,
+            trace: false,
+        }
+    }
+
+    /// A standalone Unified Memory Machine of width `w` and latency `l`.
+    /// Its single coalescing memory is addressed through [`Space::Global`].
+    #[must_use]
+    pub fn umm(width: usize, latency: usize, size: usize) -> Self {
+        Self {
+            global_policy: ConflictPolicy::Coalesced,
+            ..Self::dmm(width, latency, size)
+        }
+    }
+
+    /// The Hierarchical Memory Machine: `d` DMMs with latency-1 shared
+    /// memories of `shared_size` words each, plus a latency-`l` global
+    /// memory of `global_size` words behind a single shared pipeline.
+    #[must_use]
+    pub fn hmm(
+        dmms: usize,
+        width: usize,
+        latency: usize,
+        global_size: usize,
+        shared_size: usize,
+    ) -> Self {
+        Self {
+            dmms,
+            width,
+            global_latency: latency,
+            shared_latency: 1,
+            global_policy: ConflictPolicy::Coalesced,
+            shared_policy: ConflictPolicy::Banked,
+            global_size,
+            shared_size,
+            pipelined: true,
+            barrier_cost: 0,
+            max_cycles: u64::MAX,
+            trace: false,
+        }
+    }
+
+    fn validate(&self) -> SimResult<()> {
+        if self.dmms == 0 {
+            return Err(SimError::BadLaunch("machine needs at least one DMM".into()));
+        }
+        if self.width == 0 {
+            return Err(SimError::BadLaunch("width must be positive".into()));
+        }
+        if self.global_latency == 0 || self.shared_latency == 0 {
+            return Err(SimError::BadLaunch("latency must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A kernel launch: the (single, CUDA-style) program every thread runs,
+/// the thread count per DMM, and up to [`abi::NUM_ARGS`] argument words.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// The program shared by all threads.
+    pub program: Program,
+    /// `threads_per_dmm[j]` threads run on DMM `j`.
+    pub threads_per_dmm: Vec<usize>,
+    /// Words preset into the argument registers of every thread.
+    pub args: Vec<Word>,
+}
+
+impl LaunchSpec {
+    /// A launch distributing `p` threads as evenly as possible over the
+    /// `d` DMMs of the target machine (first `p mod d` DMMs get one more).
+    #[must_use]
+    pub fn even(program: Program, p: usize, d: usize, args: Vec<Word>) -> Self {
+        let base = p / d;
+        let extra = p % d;
+        let threads_per_dmm = (0..d).map(|j| base + usize::from(j < extra)).collect();
+        Self {
+            program,
+            threads_per_dmm,
+            args,
+        }
+    }
+
+    /// A launch placing all `p` threads on DMM 0 of a `d`-DMM machine
+    /// (used by the paper's Lemma 6 "straightforward" algorithm).
+    #[must_use]
+    pub fn on_dmm0(program: Program, p: usize, d: usize, args: Vec<Word>) -> Self {
+        let mut threads_per_dmm = vec![0; d];
+        threads_per_dmm[0] = p;
+        Self {
+            program,
+            threads_per_dmm,
+            args,
+        }
+    }
+
+    /// Total thread count `p`.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.threads_per_dmm.iter().sum()
+    }
+}
+
+/// Identifies one memory during simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemIdx {
+    Global,
+    Shared(usize),
+}
+
+impl MemIdx {
+    fn id(self) -> MemoryId {
+        match self {
+            MemIdx::Global => MemoryId::Global,
+            MemIdx::Shared(d) => MemoryId::Shared(d),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Issued a memory request that has not yet been assembled.
+    Posted,
+    /// Request dispatched or queued; waiting for completion.
+    InFlight,
+    BarrierWait(Scope),
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Posted {
+    space: Space,
+    addr: usize,
+    kind: AccessKind,
+    dst: Option<Reg>,
+    value: Word,
+}
+
+struct ThreadRt {
+    state: ThreadState,
+    status: Status,
+    dmm: usize,
+    pending: Option<Posted>,
+}
+
+struct WarpRt {
+    threads: Vec<usize>,
+    dmm: usize,
+    runnable: usize,
+    posted: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    thread: usize,
+    dst: Option<Reg>,
+    value: Word,
+}
+
+struct Txn {
+    warp: usize,
+    requests: Vec<Request>,
+    dsts: Vec<Option<Reg>>,
+    schedule: SlotSchedule,
+    next_slot: usize,
+}
+
+struct MemRt {
+    idx: MemIdx,
+    latency: u64,
+    policy: ConflictPolicy,
+    queue: VecDeque<Txn>,
+    current: Option<Txn>,
+    /// (resume_time, completions); resume times are non-decreasing.
+    completions: VecDeque<(u64, Vec<Completion>)>,
+    /// For the non-pipelined ablation: no dispatch before this time.
+    busy_until: u64,
+}
+
+impl MemRt {
+    fn has_work(&self) -> bool {
+        self.current.is_some() || !self.queue.is_empty()
+    }
+}
+
+/// A simulated machine: configuration plus persistent memory contents.
+///
+/// Memory contents persist across [`Engine::run`] calls so that hosts can
+/// stage inputs, launch a kernel, inspect results, and launch follow-up
+/// kernels — mirroring how the paper's multi-step algorithms compose.
+pub struct Engine {
+    cfg: EngineConfig,
+    global: BankedMemory,
+    shared: Vec<BankedMemory>,
+    trace: Option<Trace>,
+}
+
+/// Re-export of the memory identifier used in traces.
+pub use crate::trace::MemoryId as MemoryKind;
+
+impl Engine {
+    /// Build a machine from its configuration.
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadLaunch`] for degenerate configurations.
+    pub fn new(cfg: EngineConfig) -> SimResult<Self> {
+        cfg.validate()?;
+        let global = BankedMemory::new(cfg.width, cfg.global_size);
+        let shared = (0..cfg.dmms)
+            .map(|_| BankedMemory::new(cfg.width, cfg.shared_size))
+            .collect();
+        Ok(Self {
+            cfg,
+            global,
+            shared,
+            trace: None,
+        })
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Host view of the global memory.
+    #[must_use]
+    pub fn global(&self) -> &BankedMemory {
+        &self.global
+    }
+
+    /// Host-mutable view of the global memory (for staging inputs).
+    pub fn global_mut(&mut self) -> &mut BankedMemory {
+        &mut self.global
+    }
+
+    /// Host view of DMM `d`'s shared memory.
+    #[must_use]
+    pub fn shared(&self, d: usize) -> &BankedMemory {
+        &self.shared[d]
+    }
+
+    /// Host-mutable view of DMM `d`'s shared memory.
+    pub fn shared_mut(&mut self, d: usize) -> &mut BankedMemory {
+        &mut self.shared[d]
+    }
+
+    /// Take the trace recorded by the most recent [`Engine::run`] (if the
+    /// configuration enabled tracing).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Simulate one kernel launch to completion.
+    ///
+    /// # Errors
+    /// Propagates any [`SimError`] raised during simulation (bad address,
+    /// deadlock, cycle limit, ...).
+    // The warp loops below index `warps` and `threads` side by side; an
+    // iterator form would fight the borrow checker for no clarity gain.
+    #[allow(clippy::too_many_lines, clippy::needless_range_loop)]
+    pub fn run(&mut self, spec: &LaunchSpec) -> SimResult<SimReport> {
+        if spec.threads_per_dmm.len() != self.cfg.dmms {
+            return Err(SimError::BadLaunch(format!(
+                "launch names {} DMMs but the machine has {}",
+                spec.threads_per_dmm.len(),
+                self.cfg.dmms
+            )));
+        }
+        let p = spec.total_threads();
+        if p == 0 {
+            return Err(SimError::BadLaunch("launch with zero threads".into()));
+        }
+        if spec.args.len() > abi::NUM_ARGS {
+            return Err(SimError::BadLaunch(format!(
+                "{} argument words exceed the {} argument registers",
+                spec.args.len(),
+                abi::NUM_ARGS
+            )));
+        }
+
+        let mut trace = if self.cfg.trace { Some(Trace::new()) } else { None };
+
+        // ---- build threads and warps ------------------------------------
+        let w = self.cfg.width;
+        let mut threads: Vec<ThreadRt> = Vec::with_capacity(p);
+        let mut warps: Vec<WarpRt> = Vec::new();
+        let mut thread_warp: Vec<usize> = Vec::with_capacity(p);
+        let mut alive_per_dmm = vec![0usize; self.cfg.dmms];
+        {
+            let mut gid = 0usize;
+            for (d, &pd) in spec.threads_per_dmm.iter().enumerate() {
+                alive_per_dmm[d] = pd;
+                for chunk_start in (0..pd).step_by(w) {
+                    let chunk = chunk_start..(chunk_start + w).min(pd);
+                    let warp_id = warps.len();
+                    let mut members = Vec::with_capacity(chunk.len());
+                    for ltid in chunk {
+                        let mut st = ThreadState::new(gid);
+                        st.set_reg(abi::GID, gid as Word);
+                        st.set_reg(abi::DMM, d as Word);
+                        st.set_reg(abi::LTID, ltid as Word);
+                        st.set_reg(abi::P, p as Word);
+                        st.set_reg(abi::PD, pd as Word);
+                        st.set_reg(abi::W, w as Word);
+                        st.set_reg(abi::D, self.cfg.dmms as Word);
+                        st.set_reg(abi::L, self.cfg.global_latency as Word);
+                        for (i, &a) in spec.args.iter().enumerate() {
+                            st.set_reg(abi::arg(i), a);
+                        }
+                        threads.push(ThreadRt {
+                            state: st,
+                            status: Status::Runnable,
+                            dmm: d,
+                            pending: None,
+                        });
+                        members.push(gid);
+                        thread_warp.push(warp_id);
+                        gid += 1;
+                    }
+                    let len = members.len();
+                    warps.push(WarpRt {
+                        threads: members,
+                        dmm: d,
+                        runnable: len,
+                        posted: 0,
+                    });
+                }
+            }
+        }
+
+        // ---- memories ----------------------------------------------------
+        let mut mems: Vec<MemRt> = Vec::with_capacity(1 + self.cfg.dmms);
+        mems.push(MemRt {
+            idx: MemIdx::Global,
+            latency: self.cfg.global_latency as u64,
+            policy: self.cfg.global_policy,
+            queue: VecDeque::new(),
+            current: None,
+            completions: VecDeque::new(),
+            busy_until: 0,
+        });
+        let has_shared = self.cfg.shared_size > 0;
+        if has_shared {
+            for d in 0..self.cfg.dmms {
+                mems.push(MemRt {
+                    idx: MemIdx::Shared(d),
+                    latency: self.cfg.shared_latency as u64,
+                    policy: self.cfg.shared_policy,
+                    queue: VecDeque::new(),
+                    current: None,
+                    completions: VecDeque::new(),
+                    busy_until: 0,
+                });
+            }
+        }
+        // Memory index for a (space, dmm) pair.
+        let mem_for = |space: Space, dmm: usize| -> SimResult<usize> {
+            match space {
+                Space::Global => Ok(0),
+                Space::Shared if has_shared => Ok(1 + dmm),
+                Space::Shared => Err(SimError::NoSharedMemory),
+            }
+        };
+
+        // ---- barrier + liveness bookkeeping ------------------------------
+        let mut alive = p;
+        let mut bar_global = 0usize;
+        let mut bar_dmm = vec![0usize; self.cfg.dmms];
+        let mut report = SimReport {
+            threads: p,
+            ..SimReport::default()
+        };
+        if has_shared {
+            report.shared_per_dmm = vec![crate::stats::MemoryStats::default(); self.cfg.dmms];
+        }
+        // Barrier releases delayed by the configured synchronisation cost.
+        let mut pending_releases: Vec<(u64, Vec<usize>)> = Vec::new();
+
+        // Warps with at least one runnable thread, kept sorted for
+        // deterministic execution order.
+        let mut active: Vec<bool> = warps.iter().map(|wp| wp.runnable > 0).collect();
+
+        let mut now: u64 = 0;
+        let mut finish_time: u64 = 0;
+
+        while alive > 0 {
+            if now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+
+            // Phase 1: deliver completions whose resume time has arrived,
+            // and any barrier releases whose synchronisation cost elapsed.
+            pending_releases.retain(|(t, tids)| {
+                if *t <= now {
+                    for &tid in tids {
+                        threads[tid].status = Status::Runnable;
+                        let wid = thread_warp[tid];
+                        warps[wid].runnable += 1;
+                        active[wid] = true;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            for mem in &mut mems {
+                while mem
+                    .completions
+                    .front()
+                    .is_some_and(|(t, _)| *t <= now)
+                {
+                    let (_, items) = mem.completions.pop_front().expect("front checked");
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(TraceEvent::SlotCompleted {
+                            cycle: now,
+                            memory: mem.idx.id(),
+                            warp: thread_warp[items[0].thread],
+                            threads: items.iter().map(|c| c.thread).collect(),
+                        });
+                    }
+                    for c in items {
+                        let t = &mut threads[c.thread];
+                        if let Some(dst) = c.dst {
+                            t.state.set_reg(dst, c.value);
+                        }
+                        debug_assert_eq!(t.status, Status::InFlight);
+                        t.status = Status::Runnable;
+                        let wid = thread_warp[c.thread];
+                        warps[wid].runnable += 1;
+                        active[wid] = true;
+                    }
+                }
+            }
+
+            // Phase 2: every runnable thread executes one instruction.
+            for wid in 0..warps.len() {
+                if !active[wid] {
+                    continue;
+                }
+                // Collect thread ids first to satisfy the borrow checker.
+                for ti in 0..warps[wid].threads.len() {
+                    let tid = warps[wid].threads[ti];
+                    if threads[tid].status != Status::Runnable {
+                        continue;
+                    }
+                    let effect = step(&mut threads[tid].state, &spec.program)?;
+                    report.instructions += 1;
+                    match effect {
+                        StepEffect::Local => {}
+                        StepEffect::Load { dst, space, addr } => {
+                            threads[tid].pending = Some(Posted {
+                                space,
+                                addr,
+                                kind: AccessKind::Read,
+                                dst: Some(dst),
+                                value: 0,
+                            });
+                            threads[tid].status = Status::Posted;
+                            warps[wid].runnable -= 1;
+                            warps[wid].posted += 1;
+                        }
+                        StepEffect::Store { space, addr, value } => {
+                            threads[tid].pending = Some(Posted {
+                                space,
+                                addr,
+                                kind: AccessKind::Write,
+                                dst: None,
+                                value,
+                            });
+                            threads[tid].status = Status::Posted;
+                            warps[wid].runnable -= 1;
+                            warps[wid].posted += 1;
+                        }
+                        StepEffect::Barrier(scope) => {
+                            threads[tid].status = Status::BarrierWait(scope);
+                            warps[wid].runnable -= 1;
+                            match scope {
+                                Scope::Global => bar_global += 1,
+                                Scope::Dmm => bar_dmm[warps[wid].dmm] += 1,
+                            }
+                        }
+                        StepEffect::Halt => {
+                            threads[tid].status = Status::Halted;
+                            warps[wid].runnable -= 1;
+                            alive -= 1;
+                            alive_per_dmm[threads[tid].dmm] -= 1;
+                            finish_time = now + 1;
+                        }
+                    }
+                }
+                if warps[wid].runnable == 0 {
+                    active[wid] = false;
+                }
+            }
+
+            // Phase 3: release barriers whose whole scope has arrived.
+            for d in 0..self.cfg.dmms {
+                if bar_dmm[d] > 0 && bar_dmm[d] == alive_per_dmm[d] {
+                    Self::release_barrier(
+                        &mut threads,
+                        &mut warps,
+                        &mut active,
+                        &thread_warp,
+                        self.cfg.barrier_cost,
+                        now,
+                        &mut pending_releases,
+                        |t| t.dmm == d && t.status == Status::BarrierWait(Scope::Dmm),
+                    );
+                    report.barriers += 1;
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(TraceEvent::BarrierReleased {
+                            cycle: now,
+                            dmm: Some(d),
+                            threads: bar_dmm[d],
+                        });
+                    }
+                    bar_dmm[d] = 0;
+                }
+            }
+            if bar_global > 0 && bar_global == alive {
+                Self::release_barrier(
+                    &mut threads,
+                    &mut warps,
+                    &mut active,
+                    &thread_warp,
+                    self.cfg.barrier_cost,
+                    now,
+                    &mut pending_releases,
+                    |t| t.status == Status::BarrierWait(Scope::Global),
+                );
+                report.barriers += 1;
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEvent::BarrierReleased {
+                        cycle: now,
+                        dmm: None,
+                        threads: bar_global,
+                    });
+                }
+                bar_global = 0;
+            }
+
+            // Phase 4: assemble warp transactions (SIMD lockstep: a warp's
+            // requests go to memory once none of its threads can advance
+            // without one).
+            for wid in 0..warps.len() {
+                if warps[wid].posted == 0 || warps[wid].runnable > 0 {
+                    continue;
+                }
+                // Group the posted requests per target memory.
+                let dmm = warps[wid].dmm;
+                let mut groups: Vec<(usize, Vec<Request>, Vec<Option<Reg>>)> = Vec::new();
+                for ti in 0..warps[wid].threads.len() {
+                    let tid = warps[wid].threads[ti];
+                    if threads[tid].status != Status::Posted {
+                        continue;
+                    }
+                    let posted = threads[tid].pending.take().expect("posted thread");
+                    let mi = mem_for(posted.space, dmm)?;
+                    let size = match mems[mi].idx {
+                        MemIdx::Global => self.global.len(),
+                        MemIdx::Shared(d) => self.shared[d].len(),
+                    };
+                    if posted.addr >= size {
+                        return Err(SimError::OutOfBounds {
+                            thread: tid,
+                            space: posted.space,
+                            addr: posted.addr,
+                            size,
+                        });
+                    }
+                    let entry = match groups.iter_mut().find(|(m, _, _)| *m == mi) {
+                        Some(e) => e,
+                        None => {
+                            groups.push((mi, Vec::new(), Vec::new()));
+                            groups.last_mut().expect("just pushed")
+                        }
+                    };
+                    entry.1.push(Request {
+                        thread: tid,
+                        addr: posted.addr,
+                        kind: posted.kind,
+                        value: posted.value,
+                    });
+                    entry.2.push(posted.dst);
+                    threads[tid].status = Status::InFlight;
+                }
+                warps[wid].posted = 0;
+                for (mi, requests, dsts) in groups {
+                    let schedule =
+                        SlotSchedule::build(&requests, self.cfg.width, mems[mi].policy);
+                    mems[mi].queue.push_back(Txn {
+                        warp: wid,
+                        requests,
+                        dsts,
+                        schedule,
+                        next_slot: 0,
+                    });
+                }
+            }
+
+            // Phase 5: each memory dispatches one pipeline slot.
+            for mem in &mut mems {
+                if now < mem.busy_until {
+                    continue;
+                }
+                if mem.current.is_none() {
+                    mem.current = mem.queue.pop_front();
+                }
+                let Some(txn) = mem.current.as_mut() else {
+                    continue;
+                };
+                let slot_idx = txn.next_slot;
+                let slot: Vec<usize> = txn.schedule.slot(slot_idx).to_vec();
+                // Serve the slot: reads observe memory before this slot's
+                // writes; write-write collisions resolve to the last
+                // (highest thread id) writer — "arbitrary" per the paper,
+                // made deterministic here.
+                let storage: &mut BankedMemory = match mem.idx {
+                    MemIdx::Global => &mut self.global,
+                    MemIdx::Shared(d) => &mut self.shared[d],
+                };
+                let mut completions = Vec::with_capacity(slot.len());
+                for &ri in &slot {
+                    let req = txn.requests[ri];
+                    if req.kind == AccessKind::Read {
+                        let v = storage.read(req.addr).expect("bounds checked at assembly");
+                        completions.push(Completion {
+                            thread: req.thread,
+                            dst: txn.dsts[ri],
+                            value: v,
+                        });
+                    }
+                }
+                for &ri in &slot {
+                    let req = txn.requests[ri];
+                    if req.kind == AccessKind::Write {
+                        storage
+                            .write(req.addr, req.value)
+                            .expect("bounds checked at assembly");
+                        completions.push(Completion {
+                            thread: req.thread,
+                            dst: None,
+                            value: 0,
+                        });
+                    }
+                }
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEvent::SlotDispatched {
+                        cycle: now,
+                        memory: mem.idx.id(),
+                        warp: txn.warp,
+                        slot_index: slot_idx,
+                        total_slots: txn.schedule.num_slots(),
+                        addrs: slot.iter().map(|&ri| txn.requests[ri].addr).collect(),
+                    });
+                }
+                mem.completions.push_back((now + mem.latency, completions));
+                if !self.cfg.pipelined {
+                    mem.busy_until = now + mem.latency;
+                }
+                txn.next_slot += 1;
+                if txn.next_slot == txn.schedule.num_slots() {
+                    let done = mem.current.take().expect("current transaction");
+                    let slots = done.schedule.num_slots() as u64;
+                    let reqs = done.requests.len() as u64;
+                    match mem.idx {
+                        MemIdx::Global => report.global.record(slots, reqs),
+                        MemIdx::Shared(d) => {
+                            report.shared.record(slots, reqs);
+                            report.shared_per_dmm[d].record(slots, reqs);
+                        }
+                    }
+                }
+            }
+
+            // Phase 6: advance time, fast-forwarding idle stretches.
+            let any_runnable = active.iter().any(|&a| a);
+            let any_mem_work = mems.iter().any(MemRt::has_work);
+            if any_runnable || any_mem_work {
+                now += 1;
+            } else {
+                let next_completion = mems
+                    .iter()
+                    .filter_map(|m| m.completions.front().map(|(t, _)| *t))
+                    .chain(pending_releases.iter().map(|(t, _)| *t))
+                    .min();
+                match next_completion {
+                    Some(t) => now = t.max(now + 1),
+                    None => {
+                        if alive > 0 {
+                            let waiting = threads
+                                .iter()
+                                .filter(|t| matches!(t.status, Status::BarrierWait(_)))
+                                .count();
+                            return Err(SimError::Deadlock {
+                                cycle: now,
+                                waiting,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        report.time = finish_time;
+        self.trace = trace;
+        Ok(report)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn release_barrier(
+        threads: &mut [ThreadRt],
+        warps: &mut [WarpRt],
+        active: &mut [bool],
+        thread_warp: &[usize],
+        barrier_cost: u64,
+        now: u64,
+        pending_releases: &mut Vec<(u64, Vec<usize>)>,
+        pred: impl Fn(&ThreadRt) -> bool,
+    ) {
+        if barrier_cost > 0 {
+            // Park the scope's threads until the synchronisation cost has
+            // elapsed; they leave BarrierWait so the scope's counter can
+            // reset, but only become runnable at now + cost.
+            let mut tids = Vec::new();
+            for (tid, t) in threads.iter_mut().enumerate() {
+                if pred(t) {
+                    t.status = Status::InFlight;
+                    tids.push(tid);
+                }
+            }
+            // A free release lets the threads run at now + 1, so resuming
+            // at now + cost + 1 charges exactly `cost` extra units.
+            pending_releases.push((now + barrier_cost + 1, tids));
+            return;
+        }
+        for tid in 0..threads.len() {
+            if pred(&threads[tid]) {
+                threads[tid].status = Status::Runnable;
+                let wid = thread_warp[tid];
+                warps[wid].runnable += 1;
+                active[wid] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation errors.
+
+use std::fmt;
+
+use crate::isa::Space;
+
+/// Result alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Everything that can go wrong while executing a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A thread accessed an address outside the memory it targeted.
+    OutOfBounds {
+        /// Thread that issued the access.
+        thread: usize,
+        /// Which memory was targeted.
+        space: Space,
+        /// The offending address.
+        addr: usize,
+        /// Capacity of that memory.
+        size: usize,
+    },
+    /// A thread executed an integer division or remainder by zero.
+    DivisionByZero {
+        /// Thread that executed the instruction.
+        thread: usize,
+        /// Program counter of the instruction.
+        pc: usize,
+    },
+    /// A thread branched or fell through past the end of its program.
+    PcOutOfRange {
+        /// Thread whose program counter escaped.
+        thread: usize,
+        /// The invalid program counter.
+        pc: usize,
+        /// Length of the program.
+        len: usize,
+    },
+    /// No thread can make progress and no memory operation is in flight:
+    /// some threads are stuck at a barrier that can never be released.
+    Deadlock {
+        /// Simulated time at which the deadlock was detected.
+        cycle: u64,
+        /// Number of threads waiting at a barrier.
+        waiting: usize,
+    },
+    /// The kernel exceeded the configured cycle budget.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A kernel referenced a `Shared` memory on a machine that has none
+    /// (the standalone DMM and UMM expose a single memory as `Global`).
+    NoSharedMemory,
+    /// Launch configuration was inconsistent (zero threads, thread count
+    /// not representable, ...). The message explains the problem.
+    BadLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds {
+                thread,
+                space,
+                addr,
+                size,
+            } => write!(
+                f,
+                "thread {thread}: {space:?} access at address {addr} out of bounds (size {size})"
+            ),
+            SimError::DivisionByZero { thread, pc } => {
+                write!(f, "thread {thread}: division by zero at pc {pc}")
+            }
+            SimError::PcOutOfRange { thread, pc, len } => write!(
+                f,
+                "thread {thread}: program counter {pc} out of range (program length {len})"
+            ),
+            SimError::Deadlock { cycle, waiting } => write!(
+                f,
+                "deadlock at cycle {cycle}: {waiting} threads waiting at a barrier that cannot be released"
+            ),
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+            SimError::NoSharedMemory => {
+                write!(f, "kernel used Shared space on a machine without shared memories")
+            }
+            SimError::BadLaunch(msg) => write!(f, "bad launch configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::OutOfBounds {
+            thread: 3,
+            space: Space::Global,
+            addr: 100,
+            size: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("thread 3"));
+        assert!(s.contains("100"));
+        assert!(s.contains("64"));
+
+        let e = SimError::Deadlock {
+            cycle: 10,
+            waiting: 4,
+        };
+        assert!(e.to_string().contains("deadlock"));
+    }
+}

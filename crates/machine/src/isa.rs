@@ -1,0 +1,202 @@
+//! The per-thread instruction set.
+//!
+//! The paper models each thread as "a Random Access Machine, which can
+//! execute fundamental operations in a time unit". We make that concrete:
+//! a thread owns a file of 64 word registers and executes one instruction
+//! per time unit. Every memory access goes through the warp / pipeline
+//! machinery in [`crate::engine`]; everything else (ALU, moves, branches)
+//! is local to the thread.
+//!
+//! The instruction set is deliberately small but complete enough to write
+//! every algorithm in the paper as a real program: three-address ALU ops,
+//! comparisons producing 0/1, loads and stores with a base+offset address
+//! mode (so the common `a[j + h]` pattern is a single instruction), and
+//! barrier synchronisation at DMM or machine scope.
+
+use crate::word::Word;
+
+/// A register index (valid range `0..REG_COUNT`, see [`crate::vm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+/// An instruction operand: either a register or an immediate word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// The current value of a register.
+    Reg(Reg),
+    /// A constant.
+    Imm(Word),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Word> for Operand {
+    fn from(v: Word) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<usize> for Operand {
+    fn from(v: usize) -> Self {
+        Operand::Imm(v as Word)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(Word::from(v))
+    }
+}
+
+/// Which memory an access targets.
+///
+/// On the HMM, `Shared` is the banked latency-1 memory of the thread's own
+/// DMM and `Global` is the machine-wide UMM memory of latency `l`. The
+/// standalone DMM and UMM machines have a single memory, exposed as
+/// `Global` (with Banked resp. Coalesced conflict policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// The shared memory of the issuing thread's DMM.
+    Shared,
+    /// The global memory.
+    Global,
+}
+
+/// Barrier scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Synchronise the threads of the issuing thread's DMM.
+    Dmm,
+    /// Synchronise every thread of the machine.
+    Global,
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division (errors on divisor 0).
+    Div,
+    /// Remainder (errors on divisor 0).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (shift amount masked to 0..64).
+    Shl,
+    /// Arithmetic right shift (shift amount masked to 0..64).
+    Shr,
+    /// Set-if-less-than: `dst = (a < b) as Word`.
+    Slt,
+    /// Set-if-less-or-equal.
+    Sle,
+    /// Set-if-equal.
+    Seq,
+    /// Set-if-not-equal.
+    Sne,
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst <- op` (register copy or load-immediate).
+    Mov(Reg, Operand),
+    /// `dst <- a <binop> b`.
+    Bin(BinOp, Reg, Operand, Operand),
+    /// `dst <- cond != 0 ? a : b` (branch-free select).
+    Sel(Reg, Operand, Operand, Operand),
+    /// `dst <- mem[base + off]` — a memory *read* request.
+    Ld(Reg, Space, Operand, Operand),
+    /// `mem[base + off] <- src` — a memory *write* request.
+    St(Space, Operand, Operand, Operand),
+    /// Unconditional jump to an absolute program counter.
+    Jmp(usize),
+    /// Jump if the operand is zero.
+    Brz(Operand, usize),
+    /// Jump if the operand is non-zero.
+    Brnz(Operand, usize),
+    /// Barrier synchronisation.
+    Bar(Scope),
+    /// Do nothing for one time unit.
+    Nop,
+    /// Terminate the thread.
+    Halt,
+}
+
+/// A finished, branch-resolved program (shared by every thread of a launch,
+/// exactly like a CUDA kernel: same code, different thread ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Wrap a raw instruction vector. Prefer [`crate::asm::Asm`], which
+    /// resolves labels and validates branch targets.
+    #[must_use]
+    pub fn from_insts(insts: Vec<Inst>) -> Self {
+        Self { insts }
+    }
+
+    /// The instruction at `pc`, if any.
+    #[must_use]
+    pub fn get(&self, pc: usize) -> Option<&Inst> {
+        self.insts.get(pc)
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All instructions, for inspection and disassembly.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
+        assert_eq!(Operand::from(5usize), Operand::Imm(5));
+        assert_eq!(Operand::from(-2i32), Operand::Imm(-2));
+        assert_eq!(Operand::from(7i64), Operand::Imm(7));
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program::from_insts(vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(1), Some(&Inst::Halt));
+        assert_eq!(p.get(2), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Warp memory transactions and conflict analysis (paper Section II).
+//!
+//! When a warp of `w` threads is dispatched for memory access, each thread
+//! contributes at most one request. How those requests serialise is the
+//! *only* difference between the DMM and the UMM:
+//!
+//! * **DMM (Banked policy)** — requests to *distinct addresses in the same
+//!   bank* are processed in turn; the transaction occupies as many pipeline
+//!   slots as the most-conflicted bank has distinct addresses. Requests to
+//!   the *same* address merge for free (broadcast read / arbitrary-winner
+//!   write).
+//! * **UMM (Coalesced policy)** — the memory serves one *address group* of
+//!   `w` consecutive addresses per slot; the transaction occupies one slot
+//!   per distinct address group touched.
+//!
+//! [`SlotSchedule`] computes the exact slot-by-slot breakdown, which the
+//! engine feeds through the pipelined MMU and the trace module replays to
+//! reproduce the paper's Figure 4.
+
+use std::collections::BTreeMap;
+
+use crate::bank::{bank_of, group_of};
+use crate::word::Word;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load; completion delivers the value to the issuing thread.
+    Read,
+    /// A store; the value is applied when the slot is dispatched.
+    Write,
+}
+
+/// How a memory serialises intra-warp conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// DMM-style: one address per bank per slot (distinct addresses in the
+    /// same bank serialise; same-address requests merge).
+    Banked,
+    /// UMM-style: one address group per slot.
+    Coalesced,
+    /// PRAM-style ideal memory: every transaction takes one slot. Used by
+    /// baselines and by ablation studies, not by the paper's machines.
+    Ideal,
+}
+
+/// One thread's memory request within a warp transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Global id of the issuing thread.
+    pub thread: usize,
+    /// Target address within the memory.
+    pub addr: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The value to store (writes only; ignored for reads).
+    pub value: Word,
+}
+
+/// A transaction broken into pipeline slots.
+///
+/// `slots[i]` lists the indices (into the original request vector) served
+/// in the `i`-th slot. Every request appears in exactly one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSchedule {
+    slots: Vec<Vec<usize>>,
+}
+
+impl SlotSchedule {
+    /// Schedule `requests` under `policy` on a memory of `width` banks.
+    ///
+    /// Returns an empty schedule for an empty request set.
+    #[must_use]
+    pub fn build(requests: &[Request], width: usize, policy: ConflictPolicy) -> Self {
+        match policy {
+            ConflictPolicy::Banked => Self::build_banked(requests, width),
+            ConflictPolicy::Coalesced => Self::build_coalesced(requests, width),
+            ConflictPolicy::Ideal => Self::build_ideal(requests),
+        }
+    }
+
+    fn build_ideal(requests: &[Request]) -> Self {
+        if requests.is_empty() {
+            return Self { slots: Vec::new() };
+        }
+        Self {
+            slots: vec![(0..requests.len()).collect()],
+        }
+    }
+
+    /// DMM rule: within each bank, distinct addresses serialise; the `i`-th
+    /// distinct address of every bank is served in slot `i`. Requests for
+    /// an address already scheduled in some slot join that slot (merge).
+    fn build_banked(requests: &[Request], width: usize) -> Self {
+        // For each bank: ordered list of distinct addresses -> slot index.
+        let mut per_bank: BTreeMap<usize, BTreeMap<usize, usize>> = BTreeMap::new();
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let bank = bank_of(r.addr, width);
+            let addrs = per_bank.entry(bank).or_default();
+            let next = addrs.len();
+            let slot = *addrs.entry(r.addr).or_insert(next);
+            if slot == slots.len() {
+                slots.push(Vec::new());
+            }
+            slots[slot].push(i);
+        }
+        Self { slots }
+    }
+
+    /// UMM rule: one distinct address group per slot, in first-touch order.
+    fn build_coalesced(requests: &[Request], width: usize) -> Self {
+        let mut group_slot: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let g = group_of(r.addr, width);
+            let next = group_slot.len();
+            let slot = *group_slot.entry(g).or_insert(next);
+            if slot == slots.len() {
+                slots.push(Vec::new());
+            }
+            slots[slot].push(i);
+        }
+        Self { slots }
+    }
+
+    /// Number of pipeline slots the transaction occupies.
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Request indices served in slot `i`.
+    #[must_use]
+    pub fn slot(&self, i: usize) -> &[usize] {
+        &self.slots[i]
+    }
+
+    /// Iterate over the slots.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.slots.iter().map(Vec::as_slice)
+    }
+}
+
+/// Number of slots a request set occupies, without building the schedule.
+/// Convenience for tests and analytical cross-checks.
+#[must_use]
+pub fn slot_count(requests: &[Request], width: usize, policy: ConflictPolicy) -> usize {
+    SlotSchedule::build(requests, width, policy).num_slots()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(thread: usize, addr: usize) -> Request {
+        Request {
+            thread,
+            addr,
+            kind: AccessKind::Read,
+            value: 0,
+        }
+    }
+
+    /// Contiguous access by a full warp: conflict-free on the DMM (one
+    /// address per bank) and fully coalesced on the UMM (one group).
+    #[test]
+    fn contiguous_access_is_one_slot_on_both_models() {
+        let w = 4;
+        let reqs: Vec<_> = (0..w).map(|t| read(t, 8 + t)).collect();
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), 1);
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Coalesced), 1);
+    }
+
+    /// Stride-w access (a column of a row-major matrix): every request hits
+    /// the same bank on the DMM (w slots) but touches w distinct groups on
+    /// the UMM (also w slots). This is the paper's canonical "bad on both,
+    /// for different reasons" pattern.
+    #[test]
+    fn stride_w_access_serialises_on_both_models() {
+        let w = 4;
+        let reqs: Vec<_> = (0..w).map(|t| read(t, t * w)).collect();
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), w);
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Coalesced), w);
+    }
+
+    /// Skewed (diagonal) access: addresses `t*w + t` hit distinct banks,
+    /// so the DMM serves them in one slot, while the UMM still sees w
+    /// distinct groups. This separates the two models (Figure 1).
+    #[test]
+    fn diagonal_access_separates_dmm_from_umm() {
+        let w = 4;
+        let reqs: Vec<_> = (0..w).map(|t| read(t, t * w + t)).collect();
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), 1);
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Coalesced), w);
+    }
+
+    /// Same-address requests merge with no extra overhead (Section II:
+    /// broadcast reads, arbitrary-winner writes).
+    #[test]
+    fn same_address_requests_merge() {
+        let w = 4;
+        let reqs: Vec<_> = (0..w).map(|t| read(t, 5)).collect();
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), 1);
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Coalesced), 1);
+    }
+
+    /// Mixed: two distinct addresses in one bank plus two conflict-free
+    /// ones -> 2 slots on the DMM.
+    #[test]
+    fn partial_conflicts_count_the_worst_bank() {
+        let w = 4;
+        let reqs = vec![read(0, 0), read(1, 4), read(2, 1), read(3, 2)];
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), 2);
+        // Groups: {0,1,2} -> group 0, {4} -> group 1 => 2 slots.
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Coalesced), 2);
+    }
+
+    /// The schedule partitions the request set: every index exactly once.
+    #[test]
+    fn schedule_is_a_partition() {
+        let w = 8;
+        let reqs: Vec<_> = (0..w).map(|t| read(t, (t * 3) % 16)).collect();
+        for policy in [
+            ConflictPolicy::Banked,
+            ConflictPolicy::Coalesced,
+            ConflictPolicy::Ideal,
+        ] {
+            let s = SlotSchedule::build(&reqs, w, policy);
+            let mut seen = vec![false; reqs.len()];
+            for slot in s.iter() {
+                for &i in slot {
+                    assert!(!seen[i], "request {i} scheduled twice under {policy:?}");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "missing request under {policy:?}");
+        }
+    }
+
+    /// Figure 4 of the paper: a warp whose requests are separated in three
+    /// address groups occupies 3 pipeline stages; one whose requests share
+    /// a group occupies 1.
+    #[test]
+    fn figure4_slot_occupancy() {
+        let w = 4;
+        // W(0): addresses {0, 2, 6, 15} -> groups {0, 0, 1, 3} = 3 groups.
+        let w0 = vec![read(0, 0), read(1, 2), read(2, 6), read(3, 15)];
+        assert_eq!(slot_count(&w0, w, ConflictPolicy::Coalesced), 3);
+        // W(1): addresses {8, 9, 10, 11} -> one group.
+        let w1: Vec<_> = (0..4).map(|t| read(4 + t, 8 + t)).collect();
+        assert_eq!(slot_count(&w1, w, ConflictPolicy::Coalesced), 1);
+    }
+
+    #[test]
+    fn ideal_policy_always_one_slot() {
+        let reqs: Vec<_> = (0..16).map(|t| read(t, t * 7)).collect();
+        assert_eq!(slot_count(&reqs, 4, ConflictPolicy::Ideal), 1);
+        assert_eq!(slot_count(&[], 4, ConflictPolicy::Ideal), 0);
+    }
+
+    #[test]
+    fn empty_request_set_occupies_no_slots() {
+        assert_eq!(slot_count(&[], 4, ConflictPolicy::Banked), 0);
+        assert_eq!(slot_count(&[], 4, ConflictPolicy::Coalesced), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulation statistics and the final report of a kernel launch.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-memory counters accumulated during a launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Warp transactions processed.
+    pub transactions: u64,
+    /// Pipeline slots dispatched (each slot is one time unit of occupancy).
+    pub slots: u64,
+    /// Transactions that needed more than one slot (bank conflicts on a
+    /// DMM, uncoalesced groups on a UMM).
+    pub conflicted_transactions: u64,
+    /// Largest number of slots any single transaction needed.
+    pub max_slots_per_transaction: u64,
+    /// Individual requests served.
+    pub requests: u64,
+}
+
+impl MemoryStats {
+    /// Record a transaction of `slots` slots carrying `requests` requests.
+    pub fn record(&mut self, slots: u64, requests: u64) {
+        self.transactions += 1;
+        self.slots += slots;
+        self.requests += requests;
+        if slots > 1 {
+            self.conflicted_transactions += 1;
+        }
+        self.max_slots_per_transaction = self.max_slots_per_transaction.max(slots);
+    }
+
+    /// Merge another accumulator into this one (used to combine the
+    /// per-DMM shared-memory counters into one figure).
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.transactions += other.transactions;
+        self.slots += other.slots;
+        self.conflicted_transactions += other.conflicted_transactions;
+        self.max_slots_per_transaction = self
+            .max_slots_per_transaction
+            .max(other.max_slots_per_transaction);
+        self.requests += other.requests;
+    }
+}
+
+/// The result of simulating one kernel launch.
+///
+/// `time` is the quantity every theorem of the paper bounds: the number of
+/// time units from launch until the last thread halts and the last memory
+/// request completes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total simulated time units.
+    pub time: u64,
+    /// Instructions executed across all threads.
+    pub instructions: u64,
+    /// Global-memory (UMM) counters.
+    pub global: MemoryStats,
+    /// Combined shared-memory (DMM) counters over all DMMs.
+    pub shared: MemoryStats,
+    /// Per-DMM shared-memory counters (empty on machines without shared
+    /// memories). `shared` is the merge of these.
+    pub shared_per_dmm: Vec<MemoryStats>,
+    /// Barrier episodes completed (a scope releasing once).
+    pub barriers: u64,
+    /// Number of threads that ran.
+    pub threads: usize,
+}
+
+impl SimReport {
+    /// Total pipeline slots across all memories — a lower bound on time
+    /// when a single memory is the bottleneck.
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.global.slots + self.shared.slots
+    }
+
+    /// Fraction of the run during which the global pipeline dispatched a
+    /// slot. 1.0 means the kernel is bandwidth-bound on global memory —
+    /// the `n/w` regime of the paper's bounds; values near 0 mean the
+    /// global memory was mostly idle.
+    #[must_use]
+    pub fn global_utilization(&self) -> f64 {
+        if self.time == 0 {
+            return 0.0;
+        }
+        self.global.slots as f64 / self.time as f64
+    }
+
+    /// Mean per-DMM shared-pipeline occupancy (the `d` shared pipelines
+    /// run concurrently, so this is `shared.slots / (d · time)`).
+    #[must_use]
+    pub fn shared_utilization(&self) -> f64 {
+        let d = self.shared_per_dmm.len();
+        if self.time == 0 || d == 0 {
+            return 0.0;
+        }
+        self.shared.slots as f64 / (d as f64 * self.time as f64)
+    }
+
+    /// Average requests served per global slot — `w` means perfectly
+    /// coalesced/conflict-free traffic, 1 means fully serialised.
+    #[must_use]
+    pub fn global_requests_per_slot(&self) -> f64 {
+        if self.global.slots == 0 {
+            return 0.0;
+        }
+        self.global.requests as f64 / self.global.slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_conflicts_and_maxima() {
+        let mut m = MemoryStats::default();
+        m.record(1, 4);
+        m.record(3, 4);
+        m.record(1, 2);
+        assert_eq!(m.transactions, 3);
+        assert_eq!(m.slots, 5);
+        assert_eq!(m.requests, 10);
+        assert_eq!(m.conflicted_transactions, 1);
+        assert_eq!(m.max_slots_per_transaction, 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = MemoryStats::default();
+        a.record(2, 4);
+        let mut b = MemoryStats::default();
+        b.record(5, 8);
+        a.merge(&b);
+        assert_eq!(a.transactions, 2);
+        assert_eq!(a.slots, 7);
+        assert_eq!(a.max_slots_per_transaction, 5);
+    }
+
+    #[test]
+    fn utilization_metrics() {
+        let mut r = SimReport {
+            time: 100,
+            shared_per_dmm: vec![MemoryStats::default(); 4],
+            ..SimReport::default()
+        };
+        r.global.slots = 50;
+        r.global.requests = 200;
+        r.shared.slots = 100;
+        assert!((r.global_utilization() - 0.5).abs() < 1e-12);
+        assert!((r.shared_utilization() - 0.25).abs() < 1e-12);
+        assert!((r.global_requests_per_slot() - 4.0).abs() < 1e-12);
+        let empty = SimReport::default();
+        assert_eq!(empty.global_utilization(), 0.0);
+        assert_eq!(empty.shared_utilization(), 0.0);
+        assert_eq!(empty.global_requests_per_slot(), 0.0);
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let r = SimReport {
+            time: 10,
+            threads: 4,
+            ..SimReport::default()
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,132 @@
+//! Optional event tracing.
+//!
+//! When enabled on the engine, every pipeline dispatch and completion is
+//! recorded with its cycle stamp. The `fig4` benchmark binary replays the
+//! paper's Figure 4 from such a trace, and tests use it to assert exact
+//! cycle-level behaviour.
+
+use crate::isa::Space;
+
+/// Identifies one memory of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryId {
+    /// The global (UMM) memory.
+    Global,
+    /// The shared memory of DMM `i`.
+    Shared(usize),
+}
+
+impl MemoryId {
+    /// The ISA space this memory is addressed through.
+    #[must_use]
+    pub fn space(self) -> Space {
+        match self {
+            MemoryId::Global => Space::Global,
+            MemoryId::Shared(_) => Space::Shared,
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A pipeline slot was dispatched: `warp`'s slot `slot_index` (of
+    /// `total_slots`) entered `memory`'s pipeline at `cycle`, carrying the
+    /// listed addresses.
+    SlotDispatched {
+        /// Time unit of the dispatch.
+        cycle: u64,
+        /// Which memory served the slot.
+        memory: MemoryId,
+        /// Warp that owns the transaction.
+        warp: usize,
+        /// Index of this slot within its transaction.
+        slot_index: usize,
+        /// Total slots of the transaction.
+        total_slots: usize,
+        /// Addresses served in this slot.
+        addrs: Vec<usize>,
+    },
+    /// The requests of a slot completed (threads resume the next cycle).
+    SlotCompleted {
+        /// Time unit at whose end the data arrived.
+        cycle: u64,
+        /// Which memory served the slot.
+        memory: MemoryId,
+        /// Warp that owns the transaction.
+        warp: usize,
+        /// Threads released by this completion.
+        threads: Vec<usize>,
+    },
+    /// A barrier released.
+    BarrierReleased {
+        /// Time unit of the release.
+        cycle: u64,
+        /// `None` for the machine-wide barrier, `Some(d)` for DMM `d`.
+        dmm: Option<usize>,
+        /// Number of threads released.
+        threads: usize,
+    },
+}
+
+/// A recorded sequence of events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All recorded events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Dispatches on a given memory, in order.
+    pub fn dispatches(&self, memory: MemoryId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| {
+            matches!(e, TraceEvent::SlotDispatched { memory: m, .. } if *m == memory)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_by_memory() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::SlotDispatched {
+            cycle: 1,
+            memory: MemoryId::Global,
+            warp: 0,
+            slot_index: 0,
+            total_slots: 1,
+            addrs: vec![0],
+        });
+        t.push(TraceEvent::SlotDispatched {
+            cycle: 2,
+            memory: MemoryId::Shared(1),
+            warp: 0,
+            slot_index: 0,
+            total_slots: 1,
+            addrs: vec![4],
+        });
+        assert_eq!(t.dispatches(MemoryId::Global).count(), 1);
+        assert_eq!(t.dispatches(MemoryId::Shared(1)).count(), 1);
+        assert_eq!(t.dispatches(MemoryId::Shared(0)).count(), 0);
+        assert_eq!(MemoryId::Shared(1).space(), Space::Shared);
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-thread execution semantics.
+//!
+//! A thread is a RAM with [`REG_COUNT`] word registers and a program
+//! counter. [`step`] executes exactly one instruction and reports what the
+//! thread wants from the outside world: nothing (pure local work), a memory
+//! request, a barrier, or termination. The DMM/UMM/HMM engine and the PRAM
+//! baseline both drive threads through this function; only the *cost* of
+//! memory effects differs between them.
+
+use crate::error::{SimError, SimResult};
+use crate::isa::{BinOp, Inst, Operand, Program, Reg, Scope, Space};
+use crate::word::{wadd, wmul, wsub, Word};
+
+/// Number of registers per thread.
+pub const REG_COUNT: usize = 64;
+
+/// Architectural state of one thread.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    /// Register file.
+    pub regs: [Word; REG_COUNT],
+    /// Program counter.
+    pub pc: usize,
+    /// Global thread id (for error reporting).
+    pub id: usize,
+}
+
+impl ThreadState {
+    /// A fresh thread with zeroed registers, about to execute `pc = 0`.
+    #[must_use]
+    pub fn new(id: usize) -> Self {
+        Self {
+            regs: [0; REG_COUNT],
+            pc: 0,
+            id,
+        }
+    }
+
+    /// Read a register.
+    #[inline]
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> Word {
+        self.regs[r.0 as usize]
+    }
+
+    /// Write a register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: Word) {
+        self.regs[r.0 as usize] = v;
+    }
+
+    /// Evaluate an operand against this thread's registers.
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, op: Operand) -> Word {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+}
+
+/// What a single instruction step asks of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEffect {
+    /// Pure local work; the thread is ready for its next instruction.
+    Local,
+    /// The thread issued a load: it must receive `mem[addr]` into `dst`
+    /// before it can continue.
+    Load {
+        /// Destination register for the loaded value.
+        dst: Reg,
+        /// Target memory.
+        space: Space,
+        /// Absolute address.
+        addr: usize,
+    },
+    /// The thread issued a store of `value` to `addr` and blocks until the
+    /// access completes (Section II: "a thread cannot send a new memory
+    /// access request until the previous ... is completed").
+    Store {
+        /// Target memory.
+        space: Space,
+        /// Absolute address.
+        addr: usize,
+        /// Value to store.
+        value: Word,
+    },
+    /// The thread arrived at a barrier of the given scope.
+    Barrier(Scope),
+    /// The thread halted.
+    Halt,
+}
+
+/// Compute the absolute address of a memory operand pair, rejecting
+/// negative results (reported as an out-of-bounds access at `usize::MAX`).
+fn resolve_addr(t: &ThreadState, space: Space, base: Operand, off: Operand) -> SimResult<usize> {
+    let a = wadd(t.eval(base), t.eval(off));
+    if a < 0 {
+        return Err(SimError::OutOfBounds {
+            thread: t.id,
+            space,
+            addr: usize::MAX,
+            size: 0,
+        });
+    }
+    Ok(a as usize)
+}
+
+/// Execute one instruction of `program` on thread `t`.
+///
+/// On success the thread's `pc` has advanced (or jumped) and the returned
+/// [`StepEffect`] tells the engine what else must happen. For `Load` /
+/// `Store` / `Barrier`, the *thread-local* part of the instruction is done;
+/// the engine decides when the thread may run again.
+pub fn step(t: &mut ThreadState, program: &Program) -> SimResult<StepEffect> {
+    let inst = *program.get(t.pc).ok_or(SimError::PcOutOfRange {
+        thread: t.id,
+        pc: t.pc,
+        len: program.len(),
+    })?;
+    // Default: fall through to the next instruction.
+    t.pc += 1;
+    match inst {
+        Inst::Mov(dst, src) => {
+            let v = t.eval(src);
+            t.set_reg(dst, v);
+            Ok(StepEffect::Local)
+        }
+        Inst::Bin(op, dst, a, b) => {
+            let av = t.eval(a);
+            let bv = t.eval(b);
+            let v = match op {
+                BinOp::Add => wadd(av, bv),
+                BinOp::Sub => wsub(av, bv),
+                BinOp::Mul => wmul(av, bv),
+                BinOp::Div => {
+                    if bv == 0 {
+                        return Err(SimError::DivisionByZero {
+                            thread: t.id,
+                            pc: t.pc - 1,
+                        });
+                    }
+                    av.wrapping_div(bv)
+                }
+                BinOp::Rem => {
+                    if bv == 0 {
+                        return Err(SimError::DivisionByZero {
+                            thread: t.id,
+                            pc: t.pc - 1,
+                        });
+                    }
+                    av.wrapping_rem(bv)
+                }
+                BinOp::Min => av.min(bv),
+                BinOp::Max => av.max(bv),
+                BinOp::And => av & bv,
+                BinOp::Or => av | bv,
+                BinOp::Xor => av ^ bv,
+                BinOp::Shl => av.wrapping_shl(bv as u32),
+                BinOp::Shr => av.wrapping_shr(bv as u32),
+                BinOp::Slt => Word::from(av < bv),
+                BinOp::Sle => Word::from(av <= bv),
+                BinOp::Seq => Word::from(av == bv),
+                BinOp::Sne => Word::from(av != bv),
+            };
+            t.set_reg(dst, v);
+            Ok(StepEffect::Local)
+        }
+        Inst::Sel(dst, cond, a, b) => {
+            let v = if t.eval(cond) != 0 {
+                t.eval(a)
+            } else {
+                t.eval(b)
+            };
+            t.set_reg(dst, v);
+            Ok(StepEffect::Local)
+        }
+        Inst::Ld(dst, space, base, off) => {
+            let addr = resolve_addr(t, space, base, off)?;
+            Ok(StepEffect::Load { dst, space, addr })
+        }
+        Inst::St(space, base, off, src) => {
+            let addr = resolve_addr(t, space, base, off)?;
+            let value = t.eval(src);
+            Ok(StepEffect::Store { space, addr, value })
+        }
+        Inst::Jmp(target) => {
+            t.pc = target;
+            Ok(StepEffect::Local)
+        }
+        Inst::Brz(cond, target) => {
+            if t.eval(cond) == 0 {
+                t.pc = target;
+            }
+            Ok(StepEffect::Local)
+        }
+        Inst::Brnz(cond, target) => {
+            if t.eval(cond) != 0 {
+                t.pc = target;
+            }
+            Ok(StepEffect::Local)
+        }
+        Inst::Bar(scope) => Ok(StepEffect::Barrier(scope)),
+        Inst::Nop => Ok(StepEffect::Local),
+        Inst::Halt => {
+            t.pc -= 1; // stay on Halt; the engine never steps us again
+            Ok(StepEffect::Halt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run_local(program: &Program, init: &[(Reg, Word)]) -> ThreadState {
+        let mut t = ThreadState::new(0);
+        for &(r, v) in init {
+            t.set_reg(r, v);
+        }
+        loop {
+            match step(&mut t, program).unwrap() {
+                StepEffect::Local => {}
+                StepEffect::Halt => break,
+                other => panic!("unexpected effect {other:?}"),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn alu_ops_compute() {
+        let mut a = Asm::new();
+        a.mov(Reg(1), 10);
+        a.add(Reg(2), Reg(1), 5);
+        a.sub(Reg(3), Reg(2), Reg(1));
+        a.mul(Reg(4), Reg(3), Reg(3));
+        a.div(Reg(5), Reg(4), 2);
+        a.rem(Reg(6), Reg(4), 7);
+        a.min(Reg(7), Reg(5), Reg(6));
+        a.max(Reg(8), Reg(5), Reg(6));
+        a.slt(Reg(9), Reg(7), Reg(8));
+        a.seq(Reg(10), Reg(7), Reg(8));
+        a.sel(Reg(11), Reg(9), 111, 222);
+        a.shl(Reg(12), 1, 4);
+        a.shr(Reg(13), Reg(12), 2);
+        a.halt();
+        let t = run_local(&a.finish(), &[]);
+        assert_eq!(t.reg(Reg(2)), 15);
+        assert_eq!(t.reg(Reg(3)), 5);
+        assert_eq!(t.reg(Reg(4)), 25);
+        assert_eq!(t.reg(Reg(5)), 12);
+        assert_eq!(t.reg(Reg(6)), 4);
+        assert_eq!(t.reg(Reg(7)), 4);
+        assert_eq!(t.reg(Reg(8)), 12);
+        assert_eq!(t.reg(Reg(9)), 1);
+        assert_eq!(t.reg(Reg(10)), 0);
+        assert_eq!(t.reg(Reg(11)), 111);
+        assert_eq!(t.reg(Reg(12)), 16);
+        assert_eq!(t.reg(Reg(13)), 4);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let mut a = Asm::new();
+        let top = a.here();
+        let done = a.label();
+        a.brz(Reg(0), done);
+        a.sub(Reg(0), Reg(0), 1);
+        a.add(Reg(1), Reg(1), 1);
+        a.jmp(top);
+        a.bind(done);
+        a.halt();
+        let t = run_local(&a.finish(), &[(Reg(0), 9)]);
+        assert_eq!(t.reg(Reg(1)), 9);
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut a = Asm::new();
+        a.div(Reg(1), 1, Reg(0)); // r0 = 0
+        a.halt();
+        let p = a.finish();
+        let mut t = ThreadState::new(7);
+        let err = step(&mut t, &p).unwrap_err();
+        assert_eq!(err, SimError::DivisionByZero { thread: 7, pc: 0 });
+    }
+
+    #[test]
+    fn negative_address_rejected() {
+        let mut a = Asm::new();
+        a.ld_global(Reg(1), -5, 0);
+        a.halt();
+        let p = a.finish();
+        let mut t = ThreadState::new(0);
+        assert!(matches!(
+            step(&mut t, &p),
+            Err(SimError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn load_store_effects_surface_addresses() {
+        let mut a = Asm::new();
+        a.ld_shared(Reg(1), Reg(0), 3);
+        a.st_global(Reg(0), 1, 42);
+        a.halt();
+        let p = a.finish();
+        let mut t = ThreadState::new(0);
+        t.set_reg(Reg(0), 10);
+        assert_eq!(
+            step(&mut t, &p).unwrap(),
+            StepEffect::Load {
+                dst: Reg(1),
+                space: Space::Shared,
+                addr: 13
+            }
+        );
+        assert_eq!(
+            step(&mut t, &p).unwrap(),
+            StepEffect::Store {
+                space: Space::Global,
+                addr: 11,
+                value: 42
+            }
+        );
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.finish();
+        let mut t = ThreadState::new(0);
+        assert_eq!(step(&mut t, &p).unwrap(), StepEffect::Halt);
+        assert_eq!(t.pc, 0);
+        assert_eq!(step(&mut t, &p).unwrap(), StepEffect::Halt);
+    }
+
+    #[test]
+    fn pc_escape_is_an_error() {
+        let p = Program::from_insts(vec![Inst::Nop]);
+        let mut t = ThreadState::new(0);
+        assert_eq!(step(&mut t, &p).unwrap(), StepEffect::Local);
+        assert!(matches!(
+            step(&mut t, &p),
+            Err(SimError::PcOutOfRange { pc: 1, len: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! The paper's PRAM algorithms (Section V, Lemmas 3 and 4), measured on
+//! the simulated PRAM.
+//!
+//! *Sum* (Lemma 3): partition the input into `p` groups, sum each group
+//! with one processor, then combine the partial sums with the pairwise
+//! tree of Figure 5 — `O(n/p + log n)` steps.
+//!
+//! *Direct convolution* (Lemma 4): with `p ≤ n` processors, each processor
+//! evaluates `c[i]` for its strided set of output indices —
+//! `O(nk/p + log k)` steps (the `log k` term appears in the `p > n`
+//! regime; with `p ≤ n` the `nk/p` term dominates, which is the regime the
+//! paper calls the practical one, `k ≪ n`).
+
+use hmm_machine::isa::Reg;
+use hmm_machine::{abi, Asm, Program, SimResult, Word};
+
+use crate::engine::{Pram, PramReport};
+
+const ACC: Reg = Reg(16);
+const IDX: Reg = Reg(17);
+const T0: Reg = Reg(18);
+const T1: Reg = Reg(19);
+const JJ: Reg = Reg(20);
+
+/// Next power of two (min 1).
+#[must_use]
+fn next_pow2(x: usize) -> usize {
+    x.max(1).next_power_of_two()
+}
+
+/// Build the Lemma 3 summing kernel for `n` inputs and `p` processors.
+///
+/// Layout: input in `[0, n)`, partial sums in `[n, n + p2)` where
+/// `p2 = next_pow2(p)` (the host zeroes the padding), result at address
+/// `n` when the kernel finishes.
+#[must_use]
+pub fn sum_kernel(n: usize, p: usize) -> Program {
+    let p2 = next_pow2(p);
+    let mut a = Asm::new();
+    // Phase 1: strided accumulation. acc = sum of A[gid + j*p].
+    a.mov(ACC, 0);
+    a.mov(IDX, abi::GID);
+    let top = a.here();
+    let done = a.label();
+    a.slt(T0, IDX, n);
+    a.brz(T0, done);
+    a.ld_global(T1, IDX, 0);
+    a.add(ACC, ACC, T1);
+    a.add(IDX, IDX, abi::P);
+    a.jmp(top);
+    a.bind(done);
+    // Phase 2: publish the partial sum.
+    a.st_global(abi::GID, n, ACC);
+    a.bar_global();
+    // Phase 3: pairwise tree over p2 partials (Figure 5), unrolled.
+    let mut h = p2 / 2;
+    while h >= 1 {
+        let skip = a.label();
+        a.slt(T0, abi::GID, h);
+        a.brz(T0, skip);
+        a.ld_global(T0, abi::GID, n);
+        a.ld_global(T1, abi::GID, n + h);
+        a.add(T0, T0, T1);
+        a.st_global(abi::GID, n, T0);
+        a.bind(skip);
+        a.bar_global();
+        h /= 2;
+    }
+    a.halt();
+    a.finish()
+}
+
+/// Run the Lemma 3 sum of `input` with `p` processors on a fresh PRAM.
+///
+/// Returns the sum and the report. `p` is clamped to `max(1, min(p, n))`.
+///
+/// # Errors
+/// Propagates simulation errors.
+pub fn run_sum(input: &[Word], p: usize) -> SimResult<(Word, PramReport)> {
+    let n = input.len();
+    let p = p.clamp(1, n.max(1));
+    let p2 = next_pow2(p);
+    let mut pram = Pram::new(n + p2);
+    pram.memory_mut()[..n].copy_from_slice(input);
+    let rep = pram.run(&sum_kernel(n, p), p, &[])?;
+    Ok((pram.memory()[n], rep))
+}
+
+/// Build the Lemma 4 direct-convolution kernel.
+///
+/// Layout: `A` (length `k`) at `[0, k)`, `B` (length `n + k - 1`) at
+/// `[k, k + n + k - 1)`, `C` (length `n`) at `[k + n + k - 1, ...)`.
+/// Processor `i` computes `c[j] = Σ_t a[t]·b[j+t]` for `j = i, i+p, ...`.
+#[must_use]
+pub fn convolution_kernel(n: usize, k: usize, _p: usize) -> Program {
+    let b_base = k;
+    let c_base = k + n + k - 1;
+    let mut a = Asm::new();
+    a.mov(IDX, abi::GID);
+    let outer = a.here();
+    let done = a.label();
+    a.slt(T0, IDX, n);
+    a.brz(T0, done);
+    a.mov(ACC, 0);
+    a.mov(JJ, 0);
+    let inner = a.here();
+    let inner_done = a.label();
+    a.slt(T0, JJ, k);
+    a.brz(T0, inner_done);
+    a.ld_global(T0, JJ, 0); // a[j]
+    a.add(T1, IDX, JJ);
+    a.ld_global(T1, T1, b_base); // b[i + j]
+    a.mul(T0, T0, T1);
+    a.add(ACC, ACC, T0);
+    a.add(JJ, JJ, 1);
+    a.jmp(inner);
+    a.bind(inner_done);
+    a.st_global(IDX, c_base, ACC);
+    a.add(IDX, IDX, abi::P);
+    a.jmp(outer);
+    a.bind(done);
+    a.halt();
+    a.finish()
+}
+
+/// Run the Lemma 4 direct convolution of `a` (length `k`) and `b`
+/// (length `n + k - 1`) with `p` processors; returns `c` of length `n`.
+///
+/// # Errors
+/// Propagates simulation errors; rejects mismatched input lengths.
+pub fn run_convolution(a: &[Word], b: &[Word], p: usize) -> SimResult<(Vec<Word>, PramReport)> {
+    let k = a.len();
+    let n = b.len() + 1 - k;
+    if k == 0 || b.len() + 1 < k {
+        return Err(hmm_machine::SimError::BadLaunch(
+            "convolution needs 0 < k <= len(b) + 1".into(),
+        ));
+    }
+    let p = p.clamp(1, n.max(1));
+    let c_base = k + n + k - 1;
+    let mut pram = Pram::new(c_base + n);
+    pram.memory_mut()[..k].copy_from_slice(a);
+    pram.memory_mut()[k..k + b.len()].copy_from_slice(b);
+    let rep = pram.run(&convolution_kernel(n, k, p), p, &[])?;
+    Ok((pram.memory()[c_base..c_base + n].to_vec(), rep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_sum(xs: &[Word]) -> Word {
+        xs.iter().copied().fold(0, Word::wrapping_add)
+    }
+
+    fn seq_conv(a: &[Word], b: &[Word]) -> Vec<Word> {
+        let k = a.len();
+        let n = b.len() + 1 - k;
+        (0..n)
+            .map(|i| (0..k).map(|j| a[j].wrapping_mul(b[i + j])).sum())
+            .collect()
+    }
+
+    #[test]
+    fn sum_matches_reference_across_processor_counts() {
+        let input: Vec<Word> = (1..=100).collect();
+        for p in [1, 2, 3, 7, 16, 100] {
+            let (s, _) = run_sum(&input, p).unwrap();
+            assert_eq!(s, 5050, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn sum_time_scales_like_n_over_p_plus_log() {
+        let input: Vec<Word> = vec![1; 1024];
+        let (_, r1) = run_sum(&input, 1).unwrap();
+        let (_, r32) = run_sum(&input, 32).unwrap();
+        let (_, r1024) = run_sum(&input, 1024).unwrap();
+        // More processors strictly help until the log-tree dominates.
+        assert!(r32.time < r1.time / 8, "{} vs {}", r32.time, r1.time);
+        assert!(r1024.time < r32.time);
+        // The p = n regime is dominated by the log n tree: within a
+        // generous constant of log2(1024) = 10 steps' worth of work.
+        assert!(r1024.time <= 12 * 10, "time {}", r1024.time);
+    }
+
+    #[test]
+    fn convolution_matches_reference() {
+        let a: Vec<Word> = vec![1, -2, 3];
+        let b: Vec<Word> = (0..18).map(|x| x * x - 5).collect();
+        let expect = seq_conv(&a, &b);
+        for p in [1, 4, 16] {
+            let (c, _) = run_convolution(&a, &b, p).unwrap();
+            assert_eq!(c, expect, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn convolution_time_scales_with_processors() {
+        let a: Vec<Word> = vec![1; 8];
+        let b: Vec<Word> = vec![2; 64 + 7];
+        let (_, r1) = run_convolution(&a, &b, 1).unwrap();
+        let (_, r16) = run_convolution(&a, &b, 16).unwrap();
+        assert!(r16.time < r1.time / 8, "{} vs {}", r16.time, r1.time);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(run_sum(&[7], 5).unwrap().0, 7);
+        let (c, _) = run_convolution(&[2], &[1, 2, 3], 2).unwrap();
+        assert_eq!(c, vec![2, 4, 6]);
+        assert!(run_convolution(&[], &[1], 1).is_err());
+        let big = seq_sum(&(0..257).collect::<Vec<_>>());
+        assert_eq!(run_sum(&(0..257).collect::<Vec<_>>(), 9).unwrap().0, big);
+    }
+}

@@ -1,0 +1,278 @@
+//! The synchronous PRAM engine.
+
+use hmm_machine::isa::Program;
+use hmm_machine::vm::{step, StepEffect, ThreadState};
+use hmm_machine::{abi, SimError, SimResult, Word};
+
+/// Result of one PRAM run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PramReport {
+    /// Synchronous steps until the last processor halted.
+    pub time: u64,
+    /// Instructions executed across all processors.
+    pub instructions: u64,
+    /// Number of processors.
+    pub processors: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    BarrierWait,
+    Halted,
+}
+
+/// A PRAM with a given memory capacity. Memory persists across runs, like
+/// [`hmm_machine::Engine`], so inputs are staged before a run and results
+/// read afterwards.
+pub struct Pram {
+    memory: Vec<Word>,
+    max_cycles: u64,
+}
+
+impl Pram {
+    /// A PRAM with `size` words of shared memory.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        Self {
+            memory: vec![0; size],
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Abort runs that exceed `limit` steps.
+    #[must_use]
+    pub fn with_cycle_limit(mut self, limit: u64) -> Self {
+        self.max_cycles = limit;
+        self
+    }
+
+    /// The shared memory.
+    #[must_use]
+    pub fn memory(&self) -> &[Word] {
+        &self.memory
+    }
+
+    /// Host-writable shared memory.
+    pub fn memory_mut(&mut self) -> &mut [Word] {
+        &mut self.memory
+    }
+
+    /// Run `program` on `p` processors with the given argument words.
+    ///
+    /// The ABI registers are preset as on the memory machines, with the
+    /// whole PRAM acting as a single "DMM": `GID = LTID`, `DMM = 0`,
+    /// `P = PD = p`, `W = p` (a PRAM has no warps; the full processor set
+    /// accesses memory each step), `D = 1`, `L = 1`.
+    ///
+    /// # Errors
+    /// Propagates [`SimError`] for bad addresses, deadlocks and limits.
+    pub fn run(&mut self, program: &Program, p: usize, args: &[Word]) -> SimResult<PramReport> {
+        if p == 0 {
+            return Err(SimError::BadLaunch("PRAM run with zero processors".into()));
+        }
+        if args.len() > abi::NUM_ARGS {
+            return Err(SimError::BadLaunch(format!(
+                "{} argument words exceed the {} argument registers",
+                args.len(),
+                abi::NUM_ARGS
+            )));
+        }
+        let mut threads: Vec<(ThreadState, Status)> = (0..p)
+            .map(|i| {
+                let mut st = ThreadState::new(i);
+                st.set_reg(abi::GID, i as Word);
+                st.set_reg(abi::DMM, 0);
+                st.set_reg(abi::LTID, i as Word);
+                st.set_reg(abi::P, p as Word);
+                st.set_reg(abi::PD, p as Word);
+                st.set_reg(abi::W, p as Word);
+                st.set_reg(abi::D, 1);
+                st.set_reg(abi::L, 1);
+                for (k, &a) in args.iter().enumerate() {
+                    st.set_reg(abi::arg(k), a);
+                }
+                (st, Status::Running)
+            })
+            .collect();
+
+        let mut report = PramReport {
+            processors: p,
+            ..PramReport::default()
+        };
+        let mut alive = p;
+        let mut waiting = 0usize;
+        let mut writes: Vec<(usize, Word)> = Vec::new();
+        let mut now: u64 = 0;
+        while alive > 0 {
+            if now >= self.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.max_cycles,
+                });
+            }
+            writes.clear();
+            let mut progressed = false;
+            for (st, status) in &mut threads {
+                if *status != Status::Running {
+                    continue;
+                }
+                progressed = true;
+                report.instructions += 1;
+                match step(st, program)? {
+                    StepEffect::Local => {}
+                    StepEffect::Load { dst, addr, .. } => {
+                        let v = *self.memory.get(addr).ok_or(SimError::OutOfBounds {
+                            thread: st.id,
+                            space: hmm_machine::isa::Space::Global,
+                            addr,
+                            size: self.memory.len(),
+                        })?;
+                        st.set_reg(dst, v);
+                    }
+                    StepEffect::Store { addr, value, .. } => {
+                        if addr >= self.memory.len() {
+                            return Err(SimError::OutOfBounds {
+                                thread: st.id,
+                                space: hmm_machine::isa::Space::Global,
+                                addr,
+                                size: self.memory.len(),
+                            });
+                        }
+                        writes.push((addr, value));
+                    }
+                    StepEffect::Barrier(_) => {
+                        *status = Status::BarrierWait;
+                        waiting += 1;
+                    }
+                    StepEffect::Halt => {
+                        *status = Status::Halted;
+                        alive -= 1;
+                    }
+                }
+            }
+            // End of step: apply writes (highest processor id last = wins).
+            for &(addr, value) in &writes {
+                self.memory[addr] = value;
+            }
+            // Release the barrier once every live processor arrived.
+            if waiting > 0 && waiting == alive {
+                for (_, status) in &mut threads {
+                    if *status == Status::BarrierWait {
+                        *status = Status::Running;
+                    }
+                }
+                waiting = 0;
+            } else if !progressed && alive > 0 {
+                return Err(SimError::Deadlock {
+                    cycle: now,
+                    waiting,
+                });
+            }
+            now += 1;
+        }
+        report.time = now;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::{abi, Asm};
+    use hmm_machine::isa::Reg;
+
+    const T0: Reg = Reg(16);
+
+    #[test]
+    fn processors_run_synchronously() {
+        let mut pram = Pram::new(16);
+        let mut a = Asm::new();
+        a.st_global(abi::GID, 0, abi::GID);
+        a.halt();
+        let rep = pram.run(&a.finish(), 8, &[]).unwrap();
+        assert_eq!(&pram.memory()[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(rep.time, 2); // store + halt, unit-cost memory
+        assert_eq!(rep.processors, 8);
+    }
+
+    #[test]
+    fn concurrent_read_is_free_and_concurrent_write_is_arbitrary() {
+        let mut pram = Pram::new(8);
+        pram.memory_mut()[0] = 5;
+        let mut a = Asm::new();
+        a.ld_global(T0, 0, 0); // everyone reads cell 0
+        a.st_global(1, 0, abi::GID); // everyone writes cell 1
+        a.halt();
+        let rep = pram.run(&a.finish(), 4, &[]).unwrap();
+        assert_eq!(rep.time, 3);
+        assert_eq!(pram.memory()[1], 3, "highest processor id wins");
+    }
+
+    /// PRAM reads in a step observe memory before that step's writes.
+    #[test]
+    fn reads_precede_writes_within_a_step() {
+        let mut pram = Pram::new(8);
+        pram.memory_mut()[0] = 1;
+        pram.memory_mut()[1] = 2;
+        // Processor 0: G[1] = G[0]; processor 1: G[0] = G[1] — a classic
+        // synchronous swap (both loads at step 0, both stores at step 1).
+        let mut a = Asm::new();
+        let p1 = a.label();
+        a.brnz(abi::GID, p1);
+        a.ld_global(T0, 0, 0);
+        a.st_global(1, 0, T0);
+        a.halt();
+        a.bind(p1);
+        a.ld_global(T0, 1, 0);
+        a.st_global(0, 0, T0);
+        a.halt();
+        pram.run(&a.finish(), 2, &[]).unwrap();
+        assert_eq!(pram.memory()[0], 2);
+        assert_eq!(pram.memory()[1], 1);
+    }
+
+    #[test]
+    fn barrier_synchronises_all_processors() {
+        let mut pram = Pram::new(8);
+        // Processor 0 spins 10 iterations, everyone barriers, then each
+        // reads the flag processor 0 set before the barrier.
+        let mut a = Asm::new();
+        let after = a.label();
+        a.brnz(abi::GID, after);
+        a.mov(T0, 10);
+        let top = a.here();
+        a.sub(T0, T0, 1);
+        a.brnz(T0, top);
+        a.st_global(0, 0, 42);
+        a.bind(after);
+        a.bar_global();
+        a.ld_global(T0, 0, 0);
+        a.st_global(abi::GID, 1, T0);
+        a.halt();
+        pram.run(&a.finish(), 4, &[]).unwrap();
+        assert_eq!(&pram.memory()[1..5], &[42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut pram = Pram::new(4).with_cycle_limit(100);
+        let mut a = Asm::new();
+        a.ld_global(T0, 100, 0);
+        a.halt();
+        assert!(matches!(
+            pram.run(&a.finish(), 1, &[]),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        let mut a = Asm::new();
+        let top = a.here();
+        a.jmp(top);
+        assert!(matches!(
+            pram.run(&a.finish(), 1, &[]),
+            Err(SimError::CycleLimit { .. })
+        ));
+        assert!(matches!(
+            pram.run(&Asm::new().finish(), 0, &[]),
+            Err(SimError::BadLaunch(_))
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! # hmm-pram — the PRAM baseline
+//!
+//! The paper's Tables I and II compare the memory machine models against
+//! the classic PRAM, on which any processor reaches any memory cell in
+//! unit time. This crate simulates a synchronous CRCW-arbitrary PRAM that
+//! executes the same ISA as [`hmm_machine`], so the very same kernel
+//! builders can (where the memory layout permits) run on both machine
+//! families, and the PRAM rows of the tables are *measured* rather than
+//! transcribed.
+//!
+//! Semantics per time unit (one synchronous PRAM step):
+//!
+//! * every live processor executes one instruction;
+//! * all reads observe the memory as it was at the start of the step;
+//! * all writes apply at the end of the step; write-write collisions keep
+//!   the highest processor id's value (a deterministic stand-in for the
+//!   "arbitrary" CRCW rule, matching the engine's choice);
+//! * barriers (either scope) synchronise all live processors.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod engine;
+
+pub use engine::{Pram, PramReport};

@@ -1,0 +1,113 @@
+//! Envelope fitting: does a measured time series have the shape of a
+//! Θ-formula?
+//!
+//! For each sweep point we compute `ratio = measured / predicted`. If the
+//! formula captures the true asymptotics, the ratios across the sweep sit
+//! inside a band `[c1, c2]` whose spread `c2 / c1` is a small constant —
+//! regardless of how the parameters vary. A wrong formula (e.g. dropping
+//! the `l·log n` term) makes the spread grow with the sweep.
+
+/// Summary of a measured-vs-predicted comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// Smallest `measured / predicted` ratio.
+    pub min_ratio: f64,
+    /// Largest `measured / predicted` ratio.
+    pub max_ratio: f64,
+    /// Geometric mean of the ratios — the fitted constant.
+    pub constant: f64,
+    /// `max_ratio / min_ratio`: 1.0 means a perfect shape match.
+    pub spread: f64,
+    /// Number of points.
+    pub points: usize,
+}
+
+impl FitResult {
+    /// Whether the shape matches within the given spread tolerance.
+    #[must_use]
+    pub fn matches_within(&self, tolerance: f64) -> bool {
+        self.points > 0 && self.spread <= tolerance
+    }
+}
+
+/// Fit `(measured, predicted)` pairs.
+///
+/// # Panics
+/// Panics if any predicted value is non-positive or any measured value is
+/// negative.
+#[must_use]
+pub fn fit(pairs: &[(f64, f64)]) -> FitResult {
+    assert!(!pairs.is_empty(), "cannot fit an empty sweep");
+    let mut min_ratio = f64::INFINITY;
+    let mut max_ratio: f64 = 0.0;
+    let mut log_sum = 0.0;
+    for &(measured, predicted) in pairs {
+        assert!(predicted > 0.0, "predicted time must be positive");
+        assert!(measured >= 0.0, "measured time must be non-negative");
+        let r = measured / predicted;
+        min_ratio = min_ratio.min(r);
+        max_ratio = max_ratio.max(r);
+        log_sum += r.max(f64::MIN_POSITIVE).ln();
+    }
+    FitResult {
+        min_ratio,
+        max_ratio,
+        constant: (log_sum / pairs.len() as f64).exp(),
+        spread: max_ratio / min_ratio,
+        points: pairs.len(),
+    }
+}
+
+/// Check a dominance claim: `a` must beat `b` at every point by at least
+/// `factor`. Returns the worst (smallest) observed `b / a` ratio.
+#[must_use]
+pub fn dominance(a_times: &[f64], b_times: &[f64], factor: f64) -> (bool, f64) {
+    assert_eq!(a_times.len(), b_times.len());
+    let mut worst = f64::INFINITY;
+    for (&a, &b) in a_times.iter().zip(b_times) {
+        worst = worst.min(b / a.max(f64::MIN_POSITIVE));
+    }
+    (worst >= factor, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_shape_has_unit_spread() {
+        let pairs: Vec<_> = (1..10).map(|i| (3.0 * i as f64, i as f64)).collect();
+        let f = fit(&pairs);
+        assert!((f.spread - 1.0).abs() < 1e-12);
+        assert!((f.constant - 3.0).abs() < 1e-9);
+        assert!(f.matches_within(1.5));
+    }
+
+    #[test]
+    fn wrong_shape_grows_the_spread() {
+        // measured ~ x^2 but predicted ~ x.
+        let pairs: Vec<_> = (1..20)
+            .map(|i| ((i * i) as f64, i as f64))
+            .collect();
+        let f = fit(&pairs);
+        assert!(f.spread > 10.0);
+        assert!(!f.matches_within(4.0));
+    }
+
+    #[test]
+    fn dominance_reports_worst_ratio() {
+        let a = [10.0, 20.0];
+        let b = [100.0, 50.0];
+        let (ok, worst) = dominance(&a, &b, 2.0);
+        assert!(ok);
+        assert!((worst - 2.5).abs() < 1e-12);
+        let (ok, _) = dominance(&a, &b, 3.0);
+        assert!(!ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep")]
+    fn empty_fit_panics() {
+        let _ = fit(&[]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # hmm-theory — the paper's closed forms
+//!
+//! [`table1`] encodes the computing-time upper bounds of every cell of the
+//! paper's **Table I**, [`table2`] the four lower-bound terms of every
+//! cell of **Table II**, and [`envelope`] the statistical check used by
+//! the experiments: a measured time series matches a Θ-formula when the
+//! ratio `measured / predicted` stays within a bounded band across a
+//! parameter sweep.
+//!
+//! All formulas return `f64` "time units" with unit constants — they are
+//! *shapes*, not cycle-exact predictions; the experiments fit the constant
+//! and assert the band.
+
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod regimes;
+pub mod table1;
+pub mod table2;
+
+/// The full parameter tuple of an HMM experiment. `k` is the convolution
+/// kernel length (use 1 for sum experiments), `d` the DMM count (1 on the
+/// standalone machines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Input size.
+    pub n: usize,
+    /// Convolution kernel length.
+    pub k: usize,
+    /// Threads.
+    pub p: usize,
+    /// Width.
+    pub w: usize,
+    /// Latency.
+    pub l: usize,
+    /// DMMs.
+    pub d: usize,
+}
+
+/// `log2(max(x, 2))` — every `log` in the paper, guarded for tiny inputs.
+#[must_use]
+pub fn lg(x: usize) -> f64 {
+    (x.max(2) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg_is_guarded() {
+        assert_eq!(lg(0), 1.0);
+        assert_eq!(lg(1), 1.0);
+        assert_eq!(lg(2), 1.0);
+        assert_eq!(lg(1024), 10.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Which limitation dominates where — the qualitative "phase diagram"
+//! behind the paper's optimality discussion.
+//!
+//! Every Table II bound is a sum of up to four limitation terms; for any
+//! concrete `(n, k, p, w, l, d)` one of them dominates, and the paper's
+//! algorithm-design choices (saturate with `wl` threads per DMM, run
+//! trees in shared memory, stage convolution operands) are exactly the
+//! moves that shrink the dominating term. [`dominant`] classifies a
+//! bound; the `regimes` binary prints the map over a `p × l` grid.
+
+use crate::table2::LowerBound;
+
+/// The four limitation families of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// `Ω(work / lanes)` — not enough executed operations per unit.
+    Speedup,
+    /// `Ω(n/w)` — the memory can serve at most `w` words per unit.
+    Bandwidth,
+    /// `Ω(Rl/p + l)` — too few threads to hide the latency.
+    Latency,
+    /// `Ω(depth)` — the dependence tree of the computation.
+    Reduction,
+}
+
+impl Regime {
+    /// One-letter code used by the map printers.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            Regime::Speedup => 'S',
+            Regime::Bandwidth => 'B',
+            Regime::Latency => 'L',
+            Regime::Reduction => 'R',
+        }
+    }
+}
+
+/// The regime whose term is largest in `lb` (ties break in the order
+/// speed-up, bandwidth, latency, reduction).
+#[must_use]
+pub fn dominant(lb: &LowerBound) -> Regime {
+    let candidates = [
+        (Regime::Speedup, lb.speedup),
+        (Regime::Bandwidth, lb.bandwidth),
+        (Regime::Latency, lb.latency),
+        (Regime::Reduction, lb.reduction),
+    ];
+    let mut best = Regime::Speedup;
+    let mut best_v = f64::NEG_INFINITY;
+    for (r, v) in candidates {
+        if let Some(v) = v {
+            if v > best_v {
+                best_v = v;
+                best = r;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table2, Params};
+
+    fn pr(n: usize, k: usize, p: usize, w: usize, l: usize, d: usize) -> Params {
+        Params { n, k, p, w, l, d }
+    }
+
+    #[test]
+    fn few_threads_is_latency_bound() {
+        // p tiny, l large: the nl/p term dwarfs everything.
+        let lb = table2::sum_hmm(pr(1 << 16, 1, 32, 32, 400, 16));
+        assert_eq!(dominant(&lb), Regime::Latency);
+    }
+
+    #[test]
+    fn many_threads_is_bandwidth_bound() {
+        // p huge: latency hidden; n/w remains.
+        let lb = table2::sum_hmm(pr(1 << 16, 1, 1 << 16, 32, 4, 16));
+        assert_eq!(dominant(&lb), Regime::Bandwidth);
+    }
+
+    #[test]
+    fn tiny_inputs_at_huge_latency_are_reduction_bound() {
+        // On the single-memory machine the tree costs l·log n, which
+        // dominates once n/w and nl/p are small.
+        let lb = table2::sum_dmm_umm(pr(1 << 10, 1, 1 << 10, 32, 512, 1));
+        assert_eq!(dominant(&lb), Regime::Reduction);
+    }
+
+    #[test]
+    fn single_memory_convolution_is_speedup_bound() {
+        // nk/w with only w lanes dominates for large k.
+        let lb = table2::conv_dmm_umm(pr(1 << 12, 128, 1 << 14, 32, 4, 1));
+        assert_eq!(dominant(&lb), Regime::Speedup);
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        use std::collections::BTreeSet;
+        let codes: BTreeSet<char> = [
+            Regime::Speedup,
+            Regime::Bandwidth,
+            Regime::Latency,
+            Regime::Reduction,
+        ]
+        .iter()
+        .map(|r| r.code())
+        .collect();
+        assert_eq!(codes.len(), 4);
+    }
+}

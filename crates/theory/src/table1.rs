@@ -1,0 +1,147 @@
+//! Table I of the paper: the computing time of the sum and the direct
+//! convolution on each model (unit-constant Θ-shapes).
+//!
+//! | Problem | Sequential | PRAM | DMM / UMM | HMM |
+//! |---|---|---|---|---|
+//! | Sum | `n` | `n/p + log n` | `n/w + nl/p + l·log n` | `n/w + nl/p + l + log n` |
+//! | Convolution | `kn` | `nk/p + log k` | `nk/w + nkl/p + l·log k` | `(n+dk)/w + nk/(dw) + (n+dk)l/p + l + log k` |
+
+use crate::{lg, Params};
+
+/// Contiguous memory access (Lemma 1 / Theorem 2):
+/// `Θ(n/w + nl/p + l)`.
+#[must_use]
+pub fn contiguous(n: usize, p: usize, w: usize, l: usize) -> f64 {
+    let (nf, pf, wf, lf) = (n as f64, p as f64, w as f64, l as f64);
+    nf / wf + nf * lf / pf + lf
+}
+
+/// Sequential sum: `Θ(n)`.
+#[must_use]
+pub fn sum_sequential(n: usize) -> f64 {
+    n as f64
+}
+
+/// PRAM sum (Lemma 3): `Θ(n/p + log n)`.
+#[must_use]
+pub fn sum_pram(n: usize, p: usize) -> f64 {
+    n as f64 / p as f64 + lg(n)
+}
+
+/// DMM/UMM sum (Lemma 5): `Θ(n/w + nl/p + l·log n)`.
+#[must_use]
+pub fn sum_dmm_umm(pr: Params) -> f64 {
+    let Params { n, p, w, l, .. } = pr;
+    let (n, p, w, l) = (n as f64, p as f64, w as f64, l as f64);
+    n / w + n * l / p + l * lg(pr.n)
+}
+
+/// HMM sum with one DMM of `q` threads (Lemma 6):
+/// `Θ(n/w + nl/q + l·log q)`.
+#[must_use]
+pub fn sum_hmm_single_dmm(n: usize, q: usize, w: usize, l: usize) -> f64 {
+    let (nf, qf, wf, lf) = (n as f64, q as f64, w as f64, l as f64);
+    nf / wf + nf * lf / qf + lf * lg(q)
+}
+
+/// HMM sum with all DMMs (Theorem 7): `Θ(n/w + nl/p + l + log n)`.
+#[must_use]
+pub fn sum_hmm(pr: Params) -> f64 {
+    let Params { n, p, w, l, .. } = pr;
+    let (nf, pf, wf, lf) = (n as f64, p as f64, w as f64, l as f64);
+    nf / wf + nf * lf / pf + lf + lg(n)
+}
+
+/// Sequential direct convolution: `Θ(kn)`.
+#[must_use]
+pub fn conv_sequential(n: usize, k: usize) -> f64 {
+    (n as f64) * (k as f64)
+}
+
+/// PRAM direct convolution (Lemma 4): `Θ(nk/p + log k)`.
+#[must_use]
+pub fn conv_pram(n: usize, k: usize, p: usize) -> f64 {
+    (n * k) as f64 / p as f64 + lg(k)
+}
+
+/// DMM/UMM direct convolution (Theorem 8):
+/// `Θ(nk/w + nkl/p + l·log k)`.
+#[must_use]
+pub fn conv_dmm_umm(pr: Params) -> f64 {
+    let Params { n, k, p, w, l, .. } = pr;
+    let (nf, kf, pf, wf, lf) = (n as f64, k as f64, p as f64, w as f64, l as f64);
+    nf * kf / wf + nf * kf * lf / pf + lf * lg(k)
+}
+
+/// HMM direct convolution (Theorem 9):
+/// `Θ((n + dk)/w + nk/(dw) + (n + dk)·l/p + l + log k)`.
+#[must_use]
+pub fn conv_hmm(pr: Params) -> f64 {
+    let Params { n, k, p, w, l, d } = pr;
+    let (nf, kf, pf, wf, lf, df) = (
+        n as f64, k as f64, p as f64, w as f64, l as f64, d as f64,
+    );
+    let staged = nf + df * kf;
+    staged / wf + nf * kf / (df * wf) + staged * lf / pf + lf + lg(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pr(n: usize, k: usize, p: usize, w: usize, l: usize, d: usize) -> Params {
+        Params { n, k, p, w, l, d }
+    }
+
+    #[test]
+    fn sum_shapes_order_as_the_paper_argues() {
+        // Large latency and ample threads: the HMM formula must undercut
+        // the single-memory formula by the l·log n tree term.
+        let a = sum_dmm_umm(pr(1 << 16, 1, 1 << 16, 32, 400, 1));
+        let b = sum_hmm(pr(1 << 16, 1, 1 << 16, 32, 400, 16));
+        assert!(b < a / 3.0, "HMM {b} vs DMM/UMM {a}");
+    }
+
+    #[test]
+    fn conv_hmm_gains_a_factor_d_on_the_compute_term() {
+        let p1 = pr(1 << 14, 64, 1 << 12, 32, 400, 1);
+        let p16 = pr(1 << 14, 64, 1 << 12, 32, 400, 16);
+        let single = conv_dmm_umm(p1);
+        let hier = conv_hmm(p16);
+        assert!(hier < single / 4.0, "HMM {hier} vs DMM/UMM {single}");
+    }
+
+    #[test]
+    fn degenerate_parameters_stay_finite() {
+        for f in [
+            sum_dmm_umm(pr(1, 1, 1, 1, 1, 1)),
+            sum_hmm(pr(1, 1, 1, 1, 1, 1)),
+            conv_dmm_umm(pr(1, 1, 1, 1, 1, 1)),
+            conv_hmm(pr(1, 1, 1, 1, 1, 1)),
+            sum_pram(1, 1),
+            conv_pram(1, 1, 1),
+            sum_hmm_single_dmm(1, 1, 1, 1),
+        ] {
+            assert!(f.is_finite() && f > 0.0);
+        }
+        assert_eq!(sum_sequential(100), 100.0);
+        assert_eq!(conv_sequential(10, 3), 30.0);
+    }
+
+    #[test]
+    fn contiguous_shape_has_three_regimes() {
+        // Latency-bound at p = w, bandwidth-bound at huge p.
+        let lat = contiguous(1 << 12, 32, 32, 400);
+        let bw = contiguous(1 << 12, 1 << 14, 32, 400);
+        assert!(lat > 8.0 * bw);
+        assert!(bw >= (1 << 12) as f64 / 32.0);
+    }
+
+    #[test]
+    fn formulas_are_monotone_in_problem_size() {
+        let small = conv_hmm(pr(1 << 10, 8, 256, 16, 64, 4));
+        let large = conv_hmm(pr(1 << 14, 8, 256, 16, 64, 4));
+        assert!(large > small);
+        assert!(sum_hmm(pr(1 << 14, 1, 256, 16, 64, 4)) > sum_hmm(pr(1 << 10, 1, 256, 16, 64, 4)));
+    }
+}

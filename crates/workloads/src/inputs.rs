@@ -1,0 +1,89 @@
+//! Deterministic input generators.
+
+use hmm_machine::Word;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` uniformly random words in `[-bound, bound]`, seeded.
+///
+/// Bounded magnitudes keep convolution products exactly representable.
+#[must_use]
+pub fn random_words(n: usize, seed: u64, bound: Word) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-bound..=bound)).collect()
+}
+
+/// The ramp `0, 1, 2, ..., n-1` — handy because its sum has a closed form.
+#[must_use]
+pub fn ramp(n: usize) -> Vec<Word> {
+    (0..n as Word).collect()
+}
+
+/// An integer-quantised sine wave: `round(amp * sin(2π f i / n))`.
+/// A realistic "sensor signal" for the convolution / FIR examples.
+#[must_use]
+pub fn sine_wave(n: usize, freq: f64, amp: f64) -> Vec<Word> {
+    (0..n)
+        .map(|i| {
+            let x = std::f64::consts::TAU * freq * (i as f64) / (n as f64);
+            (amp * x.sin()).round() as Word
+        })
+        .collect()
+}
+
+/// A discrete impulse of the given length: `[1, 0, 0, ...]`. Convolving
+/// with it must reproduce the input — a classic identity test.
+#[must_use]
+pub fn impulse(k: usize) -> Vec<Word> {
+    let mut v = vec![0; k];
+    if k > 0 {
+        v[0] = 1;
+    }
+    v
+}
+
+/// `k` equal taps (an unnormalised moving-average filter).
+#[must_use]
+pub fn moving_average_taps(k: usize) -> Vec<Word> {
+    vec![1; k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = random_words(100, 42, 50);
+        let b = random_words(100, 42, 50);
+        let c = random_words(100, 43, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&x| (-50..=50).contains(&x)));
+    }
+
+    #[test]
+    fn ramp_sum_closed_form() {
+        let r = ramp(100);
+        assert_eq!(r.iter().sum::<Word>(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn impulse_is_identity_kernel() {
+        assert_eq!(impulse(3), vec![1, 0, 0]);
+        assert_eq!(impulse(0), Vec::<Word>::new());
+    }
+
+    #[test]
+    fn sine_is_bounded_by_amplitude() {
+        let s = sine_wave(64, 2.0, 100.0);
+        assert_eq!(s.len(), 64);
+        assert!(s.iter().all(|&x| x.abs() <= 100));
+        assert!(s.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn moving_average_taps_are_uniform() {
+        assert_eq!(moving_average_taps(4), vec![1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # hmm-workloads — inputs and sweeps for the reproduction experiments
+//!
+//! The paper's algorithms are data-oblivious (their running time depends
+//! only on `n`, `k`, `p`, `w`, `l`, `d`), so workloads exist to (a) verify
+//! *correctness* against sequential references on non-trivial data, and
+//! (b) define the parameter grids the tables and figures sweep.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod inputs;
+pub mod sweeps;
+
+pub use inputs::{impulse, moving_average_taps, ramp, random_words, sine_wave};
+pub use sweeps::{pow2_range, SweepPoint};

@@ -1,0 +1,48 @@
+//! Parameter grids for the table / figure sweeps.
+
+/// One point of a machine/problem sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Problem size.
+    pub n: usize,
+    /// Convolution kernel length (1 for the sum experiments).
+    pub k: usize,
+    /// Threads.
+    pub p: usize,
+    /// Width.
+    pub w: usize,
+    /// Latency.
+    pub l: usize,
+    /// DMM count.
+    pub d: usize,
+}
+
+/// Powers of two from `lo` to `hi` inclusive (both must be powers of two).
+#[must_use]
+pub fn pow2_range(lo: usize, hi: usize) -> Vec<usize> {
+    assert!(lo.is_power_of_two() && hi.is_power_of_two() && lo <= hi);
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_range_is_inclusive() {
+        assert_eq!(pow2_range(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(pow2_range(8, 8), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is_power_of_two")]
+    fn pow2_range_rejects_non_powers() {
+        let _ = pow2_range(3, 8);
+    }
+}

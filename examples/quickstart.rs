@@ -1,0 +1,66 @@
+//! Quickstart: build an HMM, write a first kernel, run the paper's
+//! optimal sum, and read the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hmm_algorithms::sum::run_sum_hmm;
+use hmm_core::{Kernel, LaunchShape, Machine};
+use hmm_machine::{abi, Asm};
+use hmm_theory::{table1, Params};
+use hmm_workloads::ramp;
+
+fn main() {
+    // --- 1. A machine: 4 DMMs, width 8, global latency 64. -----------------
+    let (d, w, l) = (4, 8, 64);
+    let mut machine = Machine::hmm(d, w, l, 1 << 14, 1 << 10);
+    println!("machine: HMM with d = {d} DMMs, width w = {w}, latency l = {l}\n");
+
+    // --- 2. A hand-written kernel: every thread tags G[gid]. ---------------
+    let mut a = Asm::new();
+    let t = hmm_machine::isa::Reg(16);
+    a.mul(t, abi::GID, 10);
+    a.add(t, t, abi::DMM);
+    a.st_global(abi::GID, 0, t);
+    a.halt();
+    let kernel = Kernel::new("hello-threads", a.finish());
+    let report = machine.launch(&kernel, LaunchShape::Even(16)).unwrap();
+    println!("hello-threads wrote {:?}...", &machine.global()[..8]);
+    println!(
+        "  time = {} units, {} global transactions, {} slots\n",
+        report.time, report.global.transactions, report.global.slots
+    );
+
+    // --- 3. The paper's Theorem 7 sum, with the Figure 5 tree inside. ------
+    let n = 1 << 12;
+    let p = 256;
+    let input = ramp(n); // sum has the closed form n(n-1)/2
+    let run = run_sum_hmm(&mut machine, &input, p).unwrap();
+    assert_eq!(run.value, (n as i64 - 1) * n as i64 / 2);
+    println!("Theorem 7 sum of 0..{n} = {} (correct)", run.value);
+    println!(
+        "  measured {} time units  |  predicted Θ-shape {:.0}  |  instructions {}",
+        run.report.time,
+        table1::sum_hmm(Params { n, k: 1, p, w, l, d }),
+        run.report.instructions
+    );
+    println!(
+        "  global slots {}  shared slots {}  barriers {}",
+        run.report.global.slots, run.report.shared.slots, run.report.barriers
+    );
+
+    // --- 4. Figure 5, in miniature: the pairwise summing tree. -------------
+    println!("\nFigure 5 (pairwise summing of 8 values):");
+    let mut vals: Vec<i64> = (1..=8).collect();
+    println!("  {vals:?}");
+    let mut width = 4;
+    while width >= 1 {
+        for j in 0..width {
+            vals[j] += vals[j + width];
+        }
+        println!("  {:?}", &vals[..width]);
+        width /= 2;
+    }
+    assert_eq!(vals[0], 36);
+}
