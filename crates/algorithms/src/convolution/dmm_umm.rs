@@ -64,7 +64,12 @@ impl Layout {
 /// Build the strided (`p ≤ n`) kernel of Theorem 8.
 #[must_use]
 pub fn conv_kernel_strided(layout: Layout) -> Program {
-    let Layout { k, n, b_base, c_base } = layout;
+    let Layout {
+        k,
+        n,
+        b_base,
+        c_base,
+    } = layout;
     let mut a = Asm::new();
     a.mov(IDX, abi::GID);
     let outer = a.here();
@@ -101,7 +106,12 @@ pub fn conv_kernel_strided(layout: Layout) -> Program {
 /// tree-reduced in `log q2` contiguous rounds, and block 0 writes `c`.
 #[must_use]
 pub fn conv_kernel_blocked(layout: Layout, q: usize, p_base: usize) -> Program {
-    let Layout { k, n, b_base, c_base } = layout;
+    let Layout {
+        k,
+        n,
+        b_base,
+        c_base,
+    } = layout;
     let q2 = next_pow2(q);
     let kq = div_ceil(k, q);
     let mut a = Asm::new();

@@ -140,12 +140,7 @@ pub fn conv_kernel_hmm(n: usize, k: usize, d: usize) -> Program {
 ///
 /// # Errors
 /// Propagates simulation errors; rejects bad shapes or `p % d != 0`.
-pub fn run_conv_hmm(
-    machine: &mut Machine,
-    a: &[Word],
-    b: &[Word],
-    p: usize,
-) -> SimResult<ConvRun> {
+pub fn run_conv_hmm(machine: &mut Machine, a: &[Word], b: &[Word], p: usize) -> SimResult<ConvRun> {
     let (k, n) = shapes(a, b)?;
     let d = machine.dmms();
     if p == 0 || !p.is_multiple_of(d) {
@@ -175,12 +170,23 @@ mod tests {
 
     fn hmm_for(n: usize, k: usize, d: usize) -> Machine {
         let m = div_ceil(n, d);
-        Machine::hmm(d, 4, 8, 2 * (n + 2 * k), shared_words(m, k).next_power_of_two())
+        Machine::hmm(
+            d,
+            4,
+            8,
+            2 * (n + 2 * k),
+            shared_words(m, k).next_power_of_two(),
+        )
     }
 
     #[test]
     fn matches_reference_across_shapes() {
-        for (n, k, d, p) in [(32, 4, 2, 8), (64, 7, 4, 16), (50, 3, 4, 16), (16, 5, 8, 32)] {
+        for (n, k, d, p) in [
+            (32, 4, 2, 8),
+            (64, 7, 4, 16),
+            (50, 3, 4, 16),
+            (16, 5, 8, 32),
+        ] {
             let a = random_words(k, n as u64, 30);
             let b = random_words(n + k - 1, k as u64, 30);
             let expect = reference::convolution(&a, &b).value;

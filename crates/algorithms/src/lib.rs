@@ -20,6 +20,7 @@
 pub mod contiguous;
 pub mod convolution;
 pub mod matmul;
+pub mod patterns;
 pub mod permutation;
 pub mod prefix;
 pub mod reduce;

@@ -53,8 +53,7 @@ pub fn matmul_reference(a: &[Word], b: &[Word], m: usize) -> Vec<Word> {
         for k in 0..m {
             let aik = a[i * m + k];
             for j in 0..m {
-                c[i * m + j] =
-                    c[i * m + j].wrapping_add(aik.wrapping_mul(b[k * m + j]));
+                c[i * m + j] = c[i * m + j].wrapping_add(aik.wrapping_mul(b[k * m + j]));
             }
         }
     }
@@ -76,7 +75,11 @@ pub fn matmul_shared_words(m: usize, d: usize, tw: usize) -> usize {
 }
 
 /// Emit a guarded strided loop `for IDX in ltid..len step pd { body }`.
-fn emit_pd_loop(a: &mut Asm, len: impl Into<hmm_machine::isa::Operand>, body: impl FnOnce(&mut Asm)) {
+fn emit_pd_loop(
+    a: &mut Asm,
+    len: impl Into<hmm_machine::isa::Operand>,
+    body: impl FnOnce(&mut Asm),
+) {
     let len = len.into();
     a.mov(IDX, abi::LTID);
     let top = a.here();
@@ -301,7 +304,11 @@ mod tests {
 
     #[test]
     fn hmm_matmul_matches_reference() {
-        for (m, d, tw, p) in [(8usize, 2usize, 4usize, 8usize), (16, 4, 8, 32), (12, 4, 4, 16)] {
+        for (m, d, tw, p) in [
+            (8usize, 2usize, 4usize, 8usize),
+            (16, 4, 8, 32),
+            (12, 4, 4, 16),
+        ] {
             let a = random_words(m * m, m as u64, 20);
             let b = random_words(m * m, (m + 1) as u64, 20);
             let expect = matmul_reference(&a, &b, m);

@@ -67,10 +67,7 @@ impl Schedule {
     /// Total scheduled moves (must equal `n`).
     #[must_use]
     pub fn moves(&self) -> usize {
-        self.rounds
-            .iter()
-            .map(|r| r.iter().flatten().count())
-            .sum()
+        self.rounds.iter().map(|r| r.iter().flatten().count()).sum()
     }
 }
 

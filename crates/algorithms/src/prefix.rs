@@ -164,11 +164,7 @@ pub fn prefix_kernel_dmm_umm(n2: usize) -> Program {
 ///
 /// # Errors
 /// Propagates simulation errors.
-pub fn run_prefix_dmm_umm(
-    machine: &mut Machine,
-    input: &[Word],
-    p: usize,
-) -> SimResult<PrefixRun> {
+pub fn run_prefix_dmm_umm(machine: &mut Machine, input: &[Word], p: usize) -> SimResult<PrefixRun> {
     let n = input.len();
     let n2 = next_pow2(n);
     machine.clear_global();

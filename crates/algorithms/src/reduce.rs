@@ -55,7 +55,9 @@ impl ReduceOp {
     /// Host-side fold over a slice.
     #[must_use]
     pub fn fold(self, xs: &[Word]) -> Word {
-        xs.iter().copied().fold(self.identity(), |a, b| self.apply(a, b))
+        xs.iter()
+            .copied()
+            .fold(self.identity(), |a, b| self.apply(a, b))
     }
 }
 

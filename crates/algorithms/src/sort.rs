@@ -140,7 +140,10 @@ pub fn sort_kernel_hmm(n2: usize, d: usize) -> Program {
     assert!(n2.is_power_of_two() && n2 >= 2);
     assert!(n2.is_multiple_of(d), "d must divide n2");
     let chunk = n2 / d;
-    assert!(chunk.is_power_of_two() && chunk >= 2, "chunk must be a power of two");
+    assert!(
+        chunk.is_power_of_two() && chunk >= 2,
+        "chunk must be a power of two"
+    );
     let mut a = Asm::new();
     a.mul(BASE, abi::DMM, chunk);
 
@@ -189,13 +192,13 @@ fn run_sort(
     machine: &mut Machine,
     input: &[Word],
     p: usize,
-    kernel: Kernel,
+    kernel: &Kernel,
     n2: usize,
 ) -> SimResult<SortRun> {
     machine.clear_global();
     machine.load_global(0, input);
     machine.global_mut()[input.len()..n2].fill(Word::MAX);
-    let report = machine.launch(&kernel, LaunchShape::Even(p))?;
+    let report = machine.launch(kernel, LaunchShape::Even(p))?;
     Ok(SortRun {
         value: machine.global()[..input.len()].to_vec(),
         report,
@@ -210,7 +213,7 @@ fn run_sort(
 pub fn run_sort_umm(machine: &mut Machine, input: &[Word], p: usize) -> SimResult<SortRun> {
     let n2 = crate::next_pow2(input.len().max(2));
     let kernel = Kernel::new("sort-bitonic-umm", sort_kernel_umm(n2));
-    run_sort(machine, input, p, kernel, n2)
+    run_sort(machine, input, p, &kernel, n2)
 }
 
 /// Sort `input` ascending on the HMM with `p` threads (`d | p`). The
@@ -228,7 +231,7 @@ pub fn run_sort_hmm(machine: &mut Machine, input: &[Word], p: usize) -> SimResul
     }
     let n2 = crate::next_pow2(input.len().max(2)).max(2 * d);
     let kernel = Kernel::new("sort-bitonic-hmm", sort_kernel_hmm(n2, d));
-    run_sort(machine, input, p, kernel, n2)
+    run_sort(machine, input, p, &kernel, n2)
 }
 
 #[cfg(test)]
@@ -263,7 +266,12 @@ mod tests {
 
     #[test]
     fn hmm_sort_matches_std_sort() {
-        for (n, d, p) in [(64usize, 2usize, 8usize), (256, 4, 64), (100, 4, 32), (512, 8, 128)] {
+        for (n, d, p) in [
+            (64usize, 2usize, 8usize),
+            (256, 4, 64),
+            (100, 4, 32),
+            (512, 8, 128),
+        ] {
             let input = random_words(n, (n + d) as u64, 1000);
             let expect = sorted(input.clone());
             let n2 = n.next_power_of_two().max(2 * d);

@@ -60,9 +60,7 @@ pub fn match_reference(pattern: &[Word], text: &[Word]) -> Vec<Word> {
         let mut cur = vec![0 as Word; m + 1];
         for i in 1..=m {
             let delta = Word::from(pattern[i - 1] != text[j - 1]);
-            cur[i] = (prev[i - 1] + delta)
-                .min(prev[i] + 1)
-                .min(cur[i - 1] + 1);
+            cur[i] = (prev[i - 1] + delta).min(prev[i] + 1).min(cur[i - 1] + 1);
         }
         scores[j] = cur[m];
         prev = cur;
@@ -224,7 +222,7 @@ pub fn run_match_dmm_umm(
     let kernel = Kernel::new("approx-match", match_kernel(m, n));
     let report = machine.launch(&kernel, LaunchShape::Even(p))?;
     Ok(MatchRun {
-        scores: machine.global()[scores..scores + n + 1].to_vec(),
+        scores: machine.global()[scores..=(scores + n)].to_vec(),
         report,
     })
 }

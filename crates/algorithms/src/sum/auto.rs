@@ -52,11 +52,7 @@ pub fn auto_threads(machine: &Machine, n: usize, p_max: usize) -> usize {
 ///
 /// # Errors
 /// Propagates simulation errors.
-pub fn run_sum_hmm_auto(
-    machine: &mut Machine,
-    input: &[Word],
-    p_max: usize,
-) -> SimResult<SumRun> {
+pub fn run_sum_hmm_auto(machine: &mut Machine, input: &[Word], p_max: usize) -> SimResult<SumRun> {
     let n = input.len();
     if machine.dmms() == 1 {
         // A one-DMM HMM is Lemma 6's machine; use the single-DMM path

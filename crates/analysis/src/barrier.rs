@@ -1,0 +1,168 @@
+//! Barrier-divergence checking (E002).
+//!
+//! A `Bar` reached inside the divergent region of a branch whose
+//! condition is not uniform across the barrier's scope is a defect: some
+//! threads of the scope may never arrive (or arrive in a different
+//! interval), so the barrier no longer separates the accesses it was
+//! meant to order. Concretely:
+//!
+//! * condition varies *between warp lanes* (`ltid` coefficient non-zero,
+//!   or outside the affine domain) — any barrier in the region is
+//!   flagged;
+//! * condition is warp-uniform but varies *between DMMs* — only a
+//!   machine-scope `Bar(Global)` in the region is flagged (each DMM's
+//!   own barrier still sees its whole scope take one side).
+//!
+//! Known over-approximation: this engine counts barrier arrivals without
+//! comparing pcs, so an `if/else` whose *both* arms hit a barrier does
+//! release at runtime; the lint still reports it, as on real GPUs such
+//! code is invalid.
+
+use hmm_machine::isa::{Inst, Program, Scope};
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic};
+use crate::interp::{operand_at, Interp};
+
+/// Flag divergent barriers, appending findings to `out`.
+pub fn analyze(program: &Program, cfg: &Cfg, interp: &Interp, out: &mut Vec<Diagnostic>) {
+    let mut flagged: Vec<usize> = Vec::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let term = blk.end - 1;
+        let cond = match program.get(term) {
+            Some(Inst::Brz(c, _) | Inst::Brnz(c, _)) => *c,
+            _ => continue,
+        };
+        let Some(v) = operand_at(interp, term, cond) else {
+            continue;
+        };
+        let warp_divergent = v.varies_in_warp();
+        let launch_divergent = v.varies_in_launch();
+        if !launch_divergent {
+            continue; // uniform across the whole launch: all or nothing
+        }
+        for rb in cfg.divergent_region(b) {
+            for pc in cfg.blocks[rb].start..cfg.blocks[rb].end {
+                let Some(Inst::Bar(scope)) = program.get(pc) else {
+                    continue;
+                };
+                let bad = warp_divergent || *scope == Scope::Global;
+                if !bad || flagged.contains(&pc) {
+                    continue;
+                }
+                flagged.push(pc);
+                let scope_name = match scope {
+                    Scope::Dmm => "DMM barrier",
+                    Scope::Global => "global barrier",
+                };
+                let why = if warp_divergent {
+                    "condition varies between threads of a warp"
+                } else {
+                    "condition varies between DMMs"
+                };
+                out.push(Diagnostic::new(
+                    Code::BarrierDivergence,
+                    pc,
+                    format!("{scope_name} under the divergent branch at pc {term} ({why})"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisConfig;
+    use hmm_machine::abi;
+    use hmm_machine::isa::{Reg, Space};
+    use hmm_machine::Asm;
+
+    fn diags(p: &Program, config: &AnalysisConfig) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(p);
+        let interp = crate::interp::run(p, &cfg, config);
+        let mut out = Vec::new();
+        analyze(p, &cfg, &interp, &mut out);
+        out
+    }
+
+    #[test]
+    fn barrier_under_tid_dependent_branch_is_e002() {
+        // if ltid < 4 { bar_dmm } ; halt
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.slt(t, abi::LTID, 4);
+        a.brz(t, end);
+        a.bar_dmm(); // pc 2
+        a.bind(end);
+        a.halt();
+        let d = diags(&a.finish(), &AnalysisConfig::hmm(32, 2));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::BarrierDivergence);
+        assert_eq!(d[0].pc, 2);
+    }
+
+    #[test]
+    fn barrier_at_the_join_point_is_clean() {
+        // if ltid < 4 { St S[ltid] } ; bar_dmm ; halt — the reduce shape.
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.slt(t, abi::LTID, 4);
+        a.brz(t, end);
+        a.st(Space::Shared, abi::LTID, 0, 1);
+        a.bind(end);
+        a.bar_dmm();
+        a.halt();
+        let d = diags(&a.finish(), &AnalysisConfig::hmm(32, 2));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn uniform_branch_over_barrier_is_clean() {
+        // if arg0 != 0 { bar_global } — launch-uniform condition.
+        let mut a = Asm::new();
+        let end = a.label();
+        a.brz(abi::arg(0), end);
+        a.bar_global();
+        a.bind(end);
+        a.halt();
+        let d = diags(&a.finish(), &AnalysisConfig::hmm(32, 2));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn global_barrier_under_dmm_dependent_branch_is_e002() {
+        // if dmm == 0 { bar_global } — warp-uniform but DMM-divergent.
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.seq(t, abi::DMM, 0);
+        a.brz(t, end);
+        a.bar_global(); // pc 2
+        a.bind(end);
+        a.halt();
+        let d = diags(&a.finish(), &AnalysisConfig::hmm(32, 2));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].pc, 2);
+    }
+
+    #[test]
+    fn dmm_barrier_under_dmm_uniform_branch_is_clean() {
+        // if dmm == 0 { bar_dmm } — each DMM's scope takes one side.
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.seq(t, abi::DMM, 0);
+        a.brz(t, end);
+        a.bar_dmm();
+        a.bind(end);
+        a.halt();
+        let d = diags(&a.finish(), &AnalysisConfig::hmm(32, 2));
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

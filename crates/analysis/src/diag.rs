@@ -1,0 +1,176 @@
+//! Diagnostics: stable codes, severities, and rendering.
+
+use hmm_util::json::Value;
+
+/// How serious a finding is.
+///
+/// `Error` findings make [`crate::Analysis::has_errors`] true (and
+/// `hmm-cli lint` exit non-zero); `Warning` findings are suspicious but
+/// not proven wrong; `Info` findings are performance observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Performance observation (bank conflicts, uncoalesced access).
+    Info,
+    /// Suspicious but not proven incorrect.
+    Warning,
+    /// Proven defect for some launch the analysis models.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in text and JSON output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes. The number never changes meaning; tests and
+/// CI scripts match on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// E001 — a register is read on some path before any instruction
+    /// wrote it (ABI registers count as written at entry).
+    UninitRead,
+    /// E002 — a barrier is reachable inside the divergent region of a
+    /// branch whose condition is not uniform across the barrier's scope.
+    BarrierDivergence,
+    /// E003 — two shared-memory accesses from distinct warps, at least
+    /// one a write, touch the same address within one barrier interval.
+    SharedRace,
+    /// E004 — the kernel accesses `Space::Shared` but the analyzed
+    /// machine has no shared memory (standalone DMM/UMM).
+    NoSharedMemory,
+    /// W101 — a pure register write (`Mov`/`Bin`/`Sel`) whose result is
+    /// never read.
+    DeadStore,
+    /// W102 — a basic block unreachable from the kernel entry.
+    Unreachable,
+    /// W103 — control can fall off the end of the program (no `Halt` on
+    /// some path), which is a runtime error.
+    MissingHalt,
+    /// I201 — a banked (DMM shared) access serialises into k > 1 slots.
+    BankConflict,
+    /// I202 — a coalesced (UMM global) access spans more than one
+    /// address group per warp.
+    Uncoalesced,
+    /// I203 — a shared-memory write whose address the affine domain
+    /// cannot express; race analysis skipped for it.
+    UnanalyzedShared,
+}
+
+impl Code {
+    /// The stable code string, e.g. `E003`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UninitRead => "E001",
+            Code::BarrierDivergence => "E002",
+            Code::SharedRace => "E003",
+            Code::NoSharedMemory => "E004",
+            Code::DeadStore => "W101",
+            Code::Unreachable => "W102",
+            Code::MissingHalt => "W103",
+            Code::BankConflict => "I201",
+            Code::Uncoalesced => "I202",
+            Code::UnanalyzedShared => "I203",
+        }
+    }
+
+    /// The severity this code always carries.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UninitRead
+            | Code::BarrierDivergence
+            | Code::SharedRace
+            | Code::NoSharedMemory => Severity::Error,
+            Code::DeadStore | Code::Unreachable | Code::MissingHalt => Severity::Warning,
+            Code::BankConflict | Code::Uncoalesced | Code::UnanalyzedShared => Severity::Info,
+        }
+    }
+}
+
+/// One finding, anchored to an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Primary program counter the finding is about.
+    pub pc: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    #[must_use]
+    pub fn new(code: Code, pc: usize, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            pc,
+            message: message.into(),
+        }
+    }
+
+    /// The severity (derived from the code).
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// One-line text rendering: `error[E003] pc 7: ...`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] pc {}: {}",
+            self.severity().as_str(),
+            self.code.as_str(),
+            self.pc,
+            self.message
+        )
+    }
+
+    /// JSON rendering with `code`, `severity`, `pc`, `message` fields.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("code", self.code.as_str().into()),
+            ("severity", self.severity().as_str().into()),
+            ("pc", self.pc.into()),
+            ("message", self.message.as_str().into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_fixed_strings_and_severities() {
+        assert_eq!(Code::UninitRead.as_str(), "E001");
+        assert_eq!(Code::SharedRace.severity(), Severity::Error);
+        assert_eq!(Code::DeadStore.severity(), Severity::Warning);
+        assert_eq!(Code::BankConflict.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn rendering_includes_code_and_pc() {
+        let d = Diagnostic::new(Code::Uncoalesced, 12, "w groups");
+        assert_eq!(d.render(), "info[I202] pc 12: w groups");
+        let j = d.to_json();
+        assert_eq!(j["code"].as_str(), Some("I202"));
+        assert_eq!(j["pc"].as_u64(), Some(12));
+    }
+
+    #[test]
+    fn severities_order_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

@@ -1,0 +1,112 @@
+//! Small kernels with known diagnoses, used by the golden tests, the
+//! `hmm-cli lint` exit-code tests, and the static-vs-dynamic validation
+//! harness. Each `*_bad` kernel triggers exactly one error code; each
+//! clean variant fixes it the way a programmer would.
+
+use hmm_machine::abi;
+use hmm_machine::isa::{Program, Reg, Space};
+use hmm_machine::Asm;
+
+const T0: Reg = Reg(16);
+const T1: Reg = Reg(17);
+const T2: Reg = Reg(18);
+
+/// E003: every thread writes shared cell 0 and reads it back with no
+/// barrier in between — a write/write and read/write race across warps.
+#[must_use]
+pub fn racy_kernel() -> Program {
+    let mut a = Asm::new();
+    a.st(Space::Shared, 0, 0, abi::GID);
+    a.ld(T0, Space::Shared, 0, 0);
+    a.st(Space::Global, abi::GID, 0, T0);
+    a.halt();
+    a.finish()
+}
+
+/// The race-free version: one writer, a barrier, then the broadcast read.
+#[must_use]
+pub fn racy_kernel_fixed() -> Program {
+    let mut a = Asm::new();
+    let skip = a.label();
+    a.brnz(abi::LTID, skip);
+    a.st(Space::Shared, 0, 0, abi::DMM);
+    a.bind(skip);
+    a.bar_dmm();
+    a.ld(T0, Space::Shared, 0, 0);
+    a.st(Space::Global, abi::GID, 0, T0);
+    a.halt();
+    a.finish()
+}
+
+/// E002: a DMM barrier inside an `if ltid < w/2` branch — threads of the
+/// same scope disagree about reaching it.
+#[must_use]
+pub fn divergent_barrier_kernel() -> Program {
+    let mut a = Asm::new();
+    let end = a.label();
+    a.shr(T1, abi::W, 1);
+    a.slt(T0, abi::LTID, T1);
+    a.brz(T0, end);
+    a.st(Space::Shared, abi::LTID, 0, abi::GID);
+    a.bar_dmm(); // pc 4: divergent
+    a.bind(end);
+    a.halt();
+    a.finish()
+}
+
+/// The fixed version: the barrier moved to the join point.
+#[must_use]
+pub fn divergent_barrier_kernel_fixed() -> Program {
+    let mut a = Asm::new();
+    let end = a.label();
+    a.shr(T1, abi::W, 1);
+    a.slt(T0, abi::LTID, T1);
+    a.brz(T0, end);
+    a.st(Space::Shared, abi::LTID, 0, abi::GID);
+    a.bind(end);
+    a.bar_dmm();
+    a.halt();
+    a.finish()
+}
+
+/// E001 (plus a W101): sums a register nothing ever wrote, and leaves a
+/// stray constant in another.
+#[must_use]
+pub fn uninit_kernel() -> Program {
+    let mut a = Asm::new();
+    a.mov(T2, 5); // dead store
+    a.add(T1, T0, 1); // T0 never written
+    a.st(Space::Global, abi::GID, 0, T1);
+    a.halt();
+    a.finish()
+}
+
+/// A kernel with nothing to report: a coalesced, conflict-free copy.
+#[must_use]
+pub fn clean_kernel() -> Program {
+    let mut a = Asm::new();
+    a.ld(T0, Space::Global, abi::GID, 0);
+    a.add(T0, T0, 1);
+    a.st(Space::Global, abi::GID, 0, T0);
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+
+    #[test]
+    fn fixed_variants_have_no_errors() {
+        let cfg = AnalysisConfig::hmm(32, 2).with_launch(128, 2);
+        for p in [
+            racy_kernel_fixed(),
+            divergent_barrier_kernel_fixed(),
+            clean_kernel(),
+        ] {
+            let a = analyze(&p, &cfg);
+            assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Fixpoint abstract interpretation of a program over the affine domain.
+//!
+//! Produces, for every reachable pc, the abstract register file *before*
+//! that instruction executes, plus per-pc *thread bounds* extracted from
+//! dominating guards of the form `if x < k` with `x = ltid`-affine —
+//! the paper's canonical `if (j < h)` tail guards. The bounds let the
+//! conflict predictor model partially-populated warps and the race
+//! solver exclude threads a guard filters out.
+
+use hmm_machine::abi;
+use hmm_machine::isa::{BinOp, Inst, Operand, Program};
+use hmm_machine::vm::REG_COUNT;
+
+use crate::affine::{binop, join, AbsVal, Base, Level};
+use crate::cfg::Cfg;
+use crate::AnalysisConfig;
+
+/// Abstract register file.
+pub type State = [AbsVal; REG_COUNT];
+
+/// Interpretation result.
+pub struct Interp {
+    /// `state[pc]` — abstract registers before executing `pc` (None for
+    /// unreachable pcs).
+    pub state: Vec<Option<Box<State>>>,
+    /// `thread_limit[pc]` — if `Some(k)`, only threads with `ltid < k`
+    /// can execute `pc` (derived from dominating guards).
+    pub thread_limit: Vec<Option<i64>>,
+}
+
+/// Initial register file from the launch ABI and the analysis config.
+#[must_use]
+pub fn entry_state(cfg: &AnalysisConfig) -> Box<State> {
+    let w = cfg.width as i64;
+    let mut st: Box<State> = Box::new([AbsVal::known(0); REG_COUNT]);
+    let launch_or = |v: Option<i64>| v.map_or(AbsVal::unknown(Level::Launch), AbsVal::known);
+
+    st[abi::W.0 as usize] = AbsVal::known(w);
+    st[abi::P.0 as usize] = launch_or(cfg.p);
+    st[abi::L.0 as usize] = launch_or(cfg.l);
+    st[abi::D.0 as usize] = AbsVal::known(cfg.dmms as i64);
+    st[abi::LTID.0 as usize] = AbsVal::Affine {
+        base: Base::Known(0),
+        ltid_coef: 1,
+        level: Level::Launch,
+    };
+    let pd = cfg.pd();
+    st[abi::PD.0 as usize] = launch_or(pd);
+    if cfg.dmms == 1 {
+        st[abi::DMM.0 as usize] = AbsVal::known(0);
+        // gid == ltid on a single-DMM machine.
+        st[abi::GID.0 as usize] = st[abi::LTID.0 as usize];
+    } else {
+        st[abi::DMM.0 as usize] = AbsVal::unknown(Level::Dmm);
+        // gid = pd·dmm + ltid; the base is warp-aligned when w | pd.
+        let base = match pd {
+            Some(pd) if pd % w == 0 => Base::ModW(0),
+            _ => Base::Any,
+        };
+        st[abi::GID.0 as usize] = AbsVal::Affine {
+            base,
+            ltid_coef: 1,
+            level: Level::Dmm,
+        };
+    }
+    for i in 0..abi::NUM_ARGS {
+        st[abi::arg(i).0 as usize] = launch_or(cfg.args.get(i).copied().flatten());
+    }
+    st
+}
+
+fn operand(st: &State, op: Operand) -> AbsVal {
+    match op {
+        Operand::Reg(r) => st[r.0 as usize],
+        Operand::Imm(v) => AbsVal::known(v),
+    }
+}
+
+/// One instruction's effect on the abstract register file.
+fn transfer(st: &mut State, inst: &Inst, w: i64) {
+    match *inst {
+        Inst::Mov(dst, src) => st[dst.0 as usize] = operand(st, src),
+        Inst::Bin(op, dst, a, b) => {
+            st[dst.0 as usize] = binop(op, operand(st, a), operand(st, b), w);
+        }
+        Inst::Sel(dst, cond, a, b) => {
+            let c = operand(st, cond);
+            let av = operand(st, a);
+            let bv = operand(st, b);
+            st[dst.0 as usize] = match c.as_known() {
+                Some(0) => bv,
+                Some(_) => av,
+                None => {
+                    if c.varies_in_warp() && av != bv {
+                        AbsVal::Top
+                    } else {
+                        join(av, bv, w)
+                    }
+                }
+            };
+        }
+        Inst::Ld(dst, ..) => st[dst.0 as usize] = AbsVal::Top,
+        Inst::St(..)
+        | Inst::Jmp(_)
+        | Inst::Brz(..)
+        | Inst::Brnz(..)
+        | Inst::Bar(_)
+        | Inst::Nop
+        | Inst::Halt => {}
+    }
+}
+
+/// Run the interpretation to fixpoint.
+#[must_use]
+pub fn run(program: &Program, cfg_graph: &Cfg, config: &AnalysisConfig) -> Interp {
+    let w = config.width as i64;
+    let n = program.len();
+    let nb = cfg_graph.blocks.len();
+    let mut in_states: Vec<Option<Box<State>>> = vec![None; nb];
+    let mut state: Vec<Option<Box<State>>> = vec![None; n];
+
+    if nb > 0 {
+        in_states[0] = Some(entry_state(config));
+        let mut work: Vec<usize> = vec![0];
+        let mut on_work = vec![false; nb];
+        on_work[0] = true;
+        while let Some(b) = work.pop() {
+            on_work[b] = false;
+            let Some(mut st) = in_states[b].clone() else {
+                continue;
+            };
+            let block = &cfg_graph.blocks[b];
+            for (pc, slot) in state
+                .iter_mut()
+                .enumerate()
+                .take(block.end)
+                .skip(block.start)
+            {
+                let updated = match slot {
+                    None => Some(st.clone()),
+                    Some(old) => {
+                        let mut merged = old.clone();
+                        let mut changed = false;
+                        for (m, s) in merged.iter_mut().zip(st.iter()) {
+                            let j = join(*m, *s, w);
+                            if j != *m {
+                                *m = j;
+                                changed = true;
+                            }
+                        }
+                        changed.then_some(merged)
+                    }
+                };
+                if let Some(new) = updated {
+                    *slot = Some(new);
+                }
+                transfer(&mut st, program.get(pc).expect("pc in block"), w);
+            }
+            for &s in &cfg_graph.blocks[b].succs {
+                if s >= nb {
+                    continue;
+                }
+                let changed = match &mut in_states[s] {
+                    slot @ None => {
+                        *slot = Some(st.clone());
+                        true
+                    }
+                    Some(old) => {
+                        let mut changed = false;
+                        for (o, v) in old.iter_mut().zip(st.iter()) {
+                            let j = join(*o, *v, w);
+                            if j != *o {
+                                *o = j;
+                                changed = true;
+                            }
+                        }
+                        changed
+                    }
+                };
+                if changed && !on_work[s] {
+                    on_work[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    let thread_limit = guard_limits(program, cfg_graph, &state, config);
+    Interp {
+        state,
+        thread_limit,
+    }
+}
+
+/// Extract per-pc upper bounds on `ltid` from dominating guards.
+///
+/// A conditional branch whose condition was computed (in the same block)
+/// as `Slt(x, k)` or `Sle(x, k)` with `x` abstractly `base + 1·ltid`,
+/// `base ∈ {Known(0), ModW(0)}` non-negative, and `k` a known constant,
+/// restricts its true-side region to threads with `ltid < k` (resp.
+/// `≤ k`): since `base ≥ 0`, `x < k` implies `ltid < k`. Limits from
+/// nested guards combine by minimum.
+fn guard_limits(
+    program: &Program,
+    cfg_graph: &Cfg,
+    state: &[Option<Box<State>>],
+    config: &AnalysisConfig,
+) -> Vec<Option<i64>> {
+    let mut limit: Vec<Option<i64>> = vec![None; program.len()];
+    let ltid_like = |v: AbsVal| {
+        matches!(
+            v,
+            AbsVal::Affine {
+                base: Base::Known(0) | Base::ModW(0),
+                ltid_coef: 1,
+                ..
+            }
+        )
+    };
+    for (b, blk) in cfg_graph.blocks.iter().enumerate() {
+        if !cfg_graph.reachable[b] {
+            continue;
+        }
+        let term = blk.end - 1;
+        let (cond, target, nonzero_is_fallthrough) = match program.get(term) {
+            Some(Inst::Brz(c, t)) => (*c, *t, true),
+            Some(Inst::Brnz(c, t)) => (*c, *t, false),
+            _ => continue,
+        };
+        let Some(term_st) = state[term].as_deref() else {
+            continue;
+        };
+        // (bound applies to the side where cond != 0, bound)
+        let mut bounds: Vec<(bool, i64)> = Vec::new();
+        // `brz/brnz ltid`: the zero side runs only for ltid == 0.
+        if ltid_like(operand(term_st, cond)) {
+            bounds.push((false, 1));
+        }
+        // Otherwise look at the in-block comparison defining the condition.
+        if let Operand::Reg(cr) = cond {
+            let def_pc = (blk.start..term).rev().find(|&pc| {
+                matches!(program.get(pc),
+                    Some(Inst::Bin(_, d, _, _) | Inst::Mov(d, _) | Inst::Sel(d, ..) | Inst::Ld(d, ..))
+                        if *d == cr)
+            });
+            if let Some(def_pc) = def_pc {
+                if let (
+                    Some(Inst::Bin(
+                        op @ (BinOp::Slt | BinOp::Sle | BinOp::Seq | BinOp::Sne),
+                        _,
+                        x,
+                        k,
+                    )),
+                    Some(st),
+                ) = (program.get(def_pc), state[def_pc].as_deref())
+                {
+                    if ltid_like(operand(st, *x)) {
+                        if let Some(kv) = operand(st, *k).as_known() {
+                            match op {
+                                // x < k / x <= k: true side has ltid < k(+1).
+                                BinOp::Slt => bounds.push((true, kv)),
+                                // x == k: true side has ltid <= k.
+                                BinOp::Sle | BinOp::Seq => {
+                                    bounds.push((true, kv.saturating_add(1)));
+                                }
+                                // x != k: the *zero* side has x == k.
+                                BinOp::Sne => bounds.push((false, kv.saturating_add(1))),
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let stop = cfg_graph.ipdom[b].unwrap_or(cfg_graph.exit());
+        for (on_nonzero_side, bound) in bounds {
+            if bound <= 0 {
+                continue;
+            }
+            let side_start = if on_nonzero_side == nonzero_is_fallthrough {
+                term + 1
+            } else {
+                target
+            };
+            if side_start >= program.len() {
+                continue;
+            }
+            let side_block = cfg_graph.block_of[side_start];
+            for rb in cfg_graph.region_from(side_block, stop) {
+                let block = &cfg_graph.blocks[rb];
+                for slot in &mut limit[block.start..block.end] {
+                    *slot = Some(slot.map_or(bound, |l: i64| l.min(bound)));
+                }
+            }
+        }
+    }
+    let _ = config;
+    limit
+}
+
+/// Look up the abstract value of an operand at a pc (helper shared by
+/// the downstream analyses).
+#[must_use]
+pub fn operand_at(interp: &Interp, pc: usize, op: Operand) -> Option<AbsVal> {
+    let st = interp.state.get(pc)?.as_deref()?;
+    Some(operand(st, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::isa::{Reg, Space};
+    use hmm_machine::Asm;
+
+    fn analyze(p: &Program, cfg: &AnalysisConfig) -> (Cfg, Interp) {
+        let g = Cfg::build(p);
+        let i = run(p, &g, cfg);
+        (g, i)
+    }
+
+    #[test]
+    fn gid_addressing_is_exact_on_single_dmm() {
+        let mut a = Asm::new();
+        a.ld(Reg(16), Space::Global, abi::GID, 0); // pc 0
+        a.halt();
+        let p = a.finish();
+        let cfg = AnalysisConfig::umm(32);
+        let (_, interp) = analyze(&p, &cfg);
+        let v = operand_at(&interp, 0, Operand::Reg(abi::GID)).unwrap();
+        assert_eq!(
+            v,
+            AbsVal::Affine {
+                base: Base::Known(0),
+                ltid_coef: 1,
+                level: Level::Launch
+            }
+        );
+    }
+
+    #[test]
+    fn strided_loop_variable_converges_to_modw() {
+        // j = gid; loop 4 times: j += p  (p = 64, w = 32)
+        let mut a = Asm::new();
+        let j = Reg(16);
+        let c = Reg(17);
+        let t = Reg(18);
+        a.mov(j, abi::GID);
+        a.mov(c, 0);
+        let top = a.here();
+        let end = a.label();
+        a.slt(t, c, 4);
+        a.brz(t, end);
+        a.add(j, j, abi::P);
+        a.add(c, c, 1);
+        a.jmp(top);
+        a.bind(end);
+        a.st(Space::Global, j, 0, 1); // pc 8
+        a.halt();
+        let p = a.finish();
+        let cfg = AnalysisConfig::umm(32).with_launch(64, 1);
+        let (_, interp) = analyze(&p, &cfg);
+        let st_pc = p.len() - 2;
+        let v = operand_at(&interp, st_pc, Operand::Reg(j)).unwrap();
+        assert_eq!(
+            v,
+            AbsVal::Affine {
+                base: Base::ModW(0),
+                ltid_coef: 1,
+                level: Level::Launch
+            }
+        );
+    }
+
+    #[test]
+    fn guard_limits_apply_inside_the_true_region() {
+        // if ltid < 4 { St G[ltid] } ; Halt
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.slt(t, abi::LTID, 4);
+        a.brz(t, end);
+        a.st(Space::Global, abi::LTID, 0, 1); // pc 2, guarded
+        a.bind(end);
+        a.halt();
+        let p = a.finish();
+        let cfg = AnalysisConfig::umm(32);
+        let (_, interp) = analyze(&p, &cfg);
+        assert_eq!(interp.thread_limit[2], Some(4));
+        assert_eq!(interp.thread_limit[0], None);
+        assert_eq!(interp.thread_limit[3], None);
+    }
+
+    #[test]
+    fn loaded_values_are_top() {
+        let mut a = Asm::new();
+        a.ld(Reg(16), Space::Global, abi::GID, 0);
+        a.st(Space::Global, Reg(16), 0, 1); // pc 1: address is data-dependent
+        a.halt();
+        let p = a.finish();
+        let cfg = AnalysisConfig::umm(32);
+        let (_, interp) = analyze(&p, &cfg);
+        let v = operand_at(&interp, 1, Operand::Reg(Reg(16))).unwrap();
+        assert_eq!(v, AbsVal::Top);
+    }
+}

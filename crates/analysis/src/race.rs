@@ -1,0 +1,321 @@
+//! Static shared-memory race detection (E003 / I203).
+//!
+//! Two shared-memory accesses race when threads from *different warps*
+//! of one DMM touch the same address in the same barrier interval with
+//! at least one write. (Same-warp accesses are served within ordered
+//! warp transactions: same-pc conflicts resolve by the machine's CRCW
+//! arbitration rule, and the paper's algorithms rely on that.)
+//!
+//! *Same interval* is approximated on the instruction level: `A` and `B`
+//! share an interval when one reaches the other along a path that never
+//! executes a `Bar`, or when they sit in opposite arms of a branch whose
+//! condition varies between threads (siblings execute concurrently).
+//!
+//! *Same address* is solved exactly on the affine domain: for
+//! `A = bA + cA·t` and `B = bB + cB·t'` with known bases, enumerate the
+//! (guard-bounded) threads `t` and solve for `t'`. Shared writes whose
+//! address has an unknown base are reported as `I203` (info) instead —
+//! the xor-shuffled and data-dependent patterns in the paper's kernels
+//! land here rather than as false errors.
+
+use hmm_machine::isa::{BinOp, Inst, Operand, Program, Space};
+
+use crate::affine::{binop, AbsVal, Base};
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic};
+use crate::interp::{operand_at, Interp};
+use crate::AnalysisConfig;
+
+/// Cap on the thread enumeration of the overlap solver.
+const SOLVE_CAP: i64 = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct SharedAccess {
+    pc: usize,
+    write: bool,
+    base: i64,
+    coef: i64,
+    /// Guard-derived bound on the thread ids executing `pc`.
+    limit: Option<i64>,
+}
+
+/// Detect shared-memory races, appending findings to `out`.
+pub fn analyze(
+    program: &Program,
+    cfg: &Cfg,
+    interp: &Interp,
+    config: &AnalysisConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !config.has_shared {
+        return; // E004 is reported by the conflict pass
+    }
+    let w = config.width as i64;
+    let mut accs: Vec<SharedAccess> = Vec::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        for pc in blk.start..blk.end {
+            let (write, base_op, off_op) = match program.get(pc) {
+                Some(Inst::Ld(_, Space::Shared, base, off)) => (false, *base, *off),
+                Some(Inst::St(Space::Shared, base, off, _)) => (true, *base, *off),
+                _ => continue,
+            };
+            let get = |op: Operand| operand_at(interp, pc, op).unwrap_or(AbsVal::Top);
+            let addr = binop(BinOp::Add, get(base_op), get(off_op), w);
+            match addr {
+                AbsVal::Affine {
+                    base: Base::Known(base),
+                    ltid_coef: coef,
+                    ..
+                } => accs.push(SharedAccess {
+                    pc,
+                    write,
+                    base,
+                    coef,
+                    limit: interp.thread_limit.get(pc).copied().flatten(),
+                }),
+                _ if write => out.push(Diagnostic::new(
+                    Code::UnanalyzedShared,
+                    pc,
+                    "shared-memory write with an address outside the affine domain; \
+                     race analysis skipped for it",
+                )),
+                _ => {}
+            }
+        }
+    }
+    if accs.is_empty() {
+        return;
+    }
+
+    let reach = barrier_free_reach(program, &accs);
+    let sibling = sibling_regions(program, cfg, interp);
+
+    for i in 0..accs.len() {
+        for j in i..accs.len() {
+            let (a, b) = (accs[i], accs[j]);
+            if !a.write && !b.write {
+                continue;
+            }
+            let same_interval = a.pc == b.pc
+                || reach[i].contains(&b.pc)
+                || reach[j].contains(&a.pc)
+                || siblings(&sibling, a.pc, b.pc);
+            if !same_interval {
+                continue;
+            }
+            if let Some((t, tp, addr)) = overlap(a, b, config) {
+                let what = match (a.write, b.write) {
+                    (true, true) => "write/write",
+                    _ => "read/write",
+                };
+                out.push(Diagnostic::new(
+                    Code::SharedRace,
+                    a.pc,
+                    format!(
+                        "{what} race on shared address {addr}: thread {t} at pc {} and \
+                         thread {tp} at pc {} (different warps, no barrier between)",
+                        a.pc, b.pc
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// For each access, the pcs reachable from it without executing a `Bar`.
+fn barrier_free_reach(program: &Program, accs: &[SharedAccess]) -> Vec<Vec<usize>> {
+    accs.iter()
+        .map(|a| {
+            let mut seen = vec![false; program.len()];
+            let mut stack: Vec<usize> = program.successors(a.pc);
+            let mut out = Vec::new();
+            while let Some(pc) = stack.pop() {
+                if pc >= program.len() || seen[pc] {
+                    continue;
+                }
+                seen[pc] = true;
+                out.push(pc);
+                // A barrier ends the interval: don't look past it.
+                if !matches!(program.get(pc), Some(Inst::Bar(_))) {
+                    stack.extend(program.successors(pc));
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// The (side-A pcs, side-B pcs) of every branch whose condition varies
+/// between threads — opposite sides execute in the same interval.
+fn sibling_regions(program: &Program, cfg: &Cfg, interp: &Interp) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut out = Vec::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let term = blk.end - 1;
+        let cond = match program.get(term) {
+            Some(Inst::Brz(c, _) | Inst::Brnz(c, _)) => *c,
+            _ => continue,
+        };
+        let varies = operand_at(interp, term, cond).is_none_or(AbsVal::varies_in_warp);
+        if !varies || blk.succs.len() != 2 {
+            continue;
+        }
+        let stop = cfg.ipdom[b].unwrap_or(cfg.exit());
+        let side = |s: usize| -> Vec<usize> {
+            cfg.region_from(s, stop)
+                .into_iter()
+                .flat_map(|rb| cfg.blocks[rb].start..cfg.blocks[rb].end)
+                .collect()
+        };
+        out.push((side(blk.succs[0]), side(blk.succs[1])));
+    }
+    out
+}
+
+fn siblings(regions: &[(Vec<usize>, Vec<usize>)], a: usize, b: usize) -> bool {
+    regions
+        .iter()
+        .any(|(l, r)| (l.contains(&a) && r.contains(&b)) || (l.contains(&b) && r.contains(&a)))
+}
+
+/// Find threads `t != t'` in different warps with `bA + cA·t == bB + cB·t'`.
+fn overlap(a: SharedAccess, b: SharedAccess, config: &AnalysisConfig) -> Option<(i64, i64, i64)> {
+    let w = config.width as i64;
+    let pd = config.pd().unwrap_or(2 * w);
+    let bound = |x: SharedAccess| pd.min(x.limit.unwrap_or(i64::MAX)).clamp(0, SOLVE_CAP);
+    let (ta, tb) = (bound(a), bound(b));
+    for t in 0..ta {
+        let addr = a.base.checked_add(a.coef.checked_mul(t)?)?;
+        if b.coef == 0 {
+            if addr == b.base {
+                // Any thread of another warp: one exists iff some warp
+                // other than t's is populated.
+                let tp = if t >= w { 0 } else { w };
+                if tp < tb {
+                    return Some((t, tp, addr));
+                }
+            }
+        } else {
+            let diff = addr.checked_sub(b.base)?;
+            if diff % b.coef == 0 {
+                let tp = diff / b.coef;
+                if (0..tb).contains(&tp) && tp / w != t / w {
+                    return Some((t, tp, addr));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::abi;
+    use hmm_machine::isa::Reg;
+    use hmm_machine::Asm;
+
+    fn diags(p: &Program, config: &AnalysisConfig) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(p);
+        let interp = crate::interp::run(p, &cfg, config);
+        let mut out = Vec::new();
+        analyze(p, &cfg, &interp, config, &mut out);
+        out
+    }
+
+    fn hmm_cfg() -> AnalysisConfig {
+        // 2 warps per DMM so cross-warp races exist.
+        AnalysisConfig::hmm(32, 1).with_launch(64, 1)
+    }
+
+    #[test]
+    fn all_threads_writing_one_cell_race() {
+        let mut a = Asm::new();
+        a.st(Space::Shared, 0, 0, abi::GID);
+        a.halt();
+        let d = diags(&a.finish(), &hmm_cfg());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::SharedRace);
+        assert_eq!(d[0].pc, 0);
+    }
+
+    #[test]
+    fn per_thread_cells_do_not_race() {
+        let mut a = Asm::new();
+        a.st(Space::Shared, abi::LTID, 0, 1);
+        a.ld(Reg(16), Space::Shared, abi::LTID, 0);
+        a.halt();
+        let d = diags(&a.finish(), &hmm_cfg());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn barrier_separates_the_accesses() {
+        // St S[0]; bar; Ld S[0] — classic broadcast, no race.
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.brnz(abi::LTID, end); // only thread 0 of each DMM writes
+        a.st(Space::Shared, 0, 0, 7);
+        a.bind(end);
+        a.bar_dmm();
+        a.ld(t, Space::Shared, 0, 0);
+        a.halt();
+        let d = diags(&a.finish(), &hmm_cfg());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_barrier_is_a_read_write_race() {
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let end = a.label();
+        a.brnz(abi::LTID, end);
+        a.st(Space::Shared, 0, 0, 7); // pc 1
+        a.bind(end);
+        a.ld(t, Space::Shared, 0, 0); // pc 2: no barrier before the read
+        a.halt();
+        let d = diags(&a.finish(), &hmm_cfg());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, Code::SharedRace);
+    }
+
+    #[test]
+    fn guarded_tree_reduction_is_clean() {
+        // if ltid < 16 { x = S[ltid + 16]; S[ltid] += x } — halves disjoint.
+        let mut a = Asm::new();
+        let t = Reg(16);
+        let x = Reg(17);
+        let y = Reg(18);
+        let end = a.label();
+        a.slt(t, abi::LTID, 16);
+        a.brz(t, end);
+        a.ld(x, Space::Shared, abi::LTID, 16);
+        a.ld(y, Space::Shared, abi::LTID, 0);
+        a.add(y, y, x);
+        a.st(Space::Shared, abi::LTID, 0, y);
+        a.bind(end);
+        a.bar_dmm();
+        a.halt();
+        let d = diags(&a.finish(), &hmm_cfg());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unanalyzable_shared_write_is_i203_not_e003() {
+        // Address loaded from memory: outside the affine domain.
+        let mut a = Asm::new();
+        let t = Reg(16);
+        a.ld(t, Space::Global, abi::GID, 0);
+        a.st(Space::Shared, t, 0, 1);
+        a.halt();
+        let d = diags(&a.finish(), &hmm_cfg());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::UnanalyzedShared);
+    }
+}

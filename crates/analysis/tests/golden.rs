@@ -1,0 +1,80 @@
+//! Golden diagnostic tests: the example kernels must produce *exactly*
+//! these findings — same codes, same instruction indices, same text.
+//! A change here is a deliberate change to the analyzer's user-facing
+//! behaviour and should be reviewed as such.
+
+use hmm_analysis::{analyze, examples, AnalysisConfig};
+
+fn rendered(program: &hmm_machine::Program, config: &AnalysisConfig) -> String {
+    analyze(program, config).render()
+}
+
+#[test]
+fn racy_kernel_golden() {
+    let config = AnalysisConfig::hmm(32, 1).with_launch(64, 1);
+    assert_eq!(
+        rendered(&examples::racy_kernel(), &config),
+        "error[E003] pc 0: read/write race on shared address 0: thread 0 at pc 0 \
+         and thread 32 at pc 1 (different warps, no barrier between)\n\
+         error[E003] pc 0: write/write race on shared address 0: thread 0 at pc 0 \
+         and thread 32 at pc 0 (different warps, no barrier between)\n\
+         2 error(s), 0 warning(s), 0 info(s)\n"
+    );
+}
+
+#[test]
+fn divergent_barrier_kernel_golden() {
+    let config = AnalysisConfig::hmm(32, 2).with_launch(128, 2);
+    assert_eq!(
+        rendered(&examples::divergent_barrier_kernel(), &config),
+        "error[E002] pc 4: DMM barrier under the divergent branch at pc 2 \
+         (condition varies between threads of a warp)\n\
+         1 error(s), 0 warning(s), 0 info(s)\n"
+    );
+}
+
+#[test]
+fn uninit_kernel_golden() {
+    let config = AnalysisConfig::umm(32).with_launch(64, 1);
+    assert_eq!(
+        rendered(&examples::uninit_kernel(), &config),
+        "warning[W101] pc 0: value written to r18 is never read\n\
+         error[E001] pc 1: register r16 may be read before it is written\n\
+         1 error(s), 1 warning(s), 0 info(s)\n"
+    );
+}
+
+#[test]
+fn fixed_and_clean_kernels_golden() {
+    let hmm = AnalysisConfig::hmm(32, 2).with_launch(128, 2);
+    assert_eq!(
+        rendered(&examples::racy_kernel_fixed(), &hmm),
+        "0 error(s), 0 warning(s), 0 info(s)\n"
+    );
+    assert_eq!(
+        rendered(&examples::divergent_barrier_kernel_fixed(), &hmm),
+        "0 error(s), 0 warning(s), 0 info(s)\n"
+    );
+    assert_eq!(
+        rendered(
+            &examples::clean_kernel(),
+            &AnalysisConfig::umm(32).with_launch(64, 1)
+        ),
+        "0 error(s), 0 warning(s), 0 info(s)\n"
+    );
+}
+
+/// The JSON rendering carries the same codes and indices as the text.
+#[test]
+fn racy_kernel_json_golden() {
+    let config = AnalysisConfig::hmm(32, 1).with_launch(64, 1);
+    let j = analyze(&examples::racy_kernel(), &config).to_json();
+    assert_eq!(j["errors"].as_u64(), Some(2));
+    let diags = j["diagnostics"].as_array().unwrap();
+    assert_eq!(diags.len(), 2);
+    for d in diags {
+        assert_eq!(d["code"].as_str(), Some("E003"));
+        assert_eq!(d["pc"].as_u64(), Some(0));
+        assert_eq!(d["severity"].as_str(), Some("error"));
+    }
+}

@@ -1,38 +1,29 @@
-//! Criterion benches for the raw engine: contiguous access throughput
+//! Wall-clock benches for the raw engine: contiguous access throughput
 //! (Lemma 1 / Theorem 2 kernels) across thread counts, plus the
 //! non-pipelined ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hmm_algorithms::contiguous::{run_access, AccessMode};
 use hmm_core::{Machine, ModelKind};
 use hmm_machine::EngineConfig;
+use hmm_util::bench::BenchGroup;
 
-fn bench_contiguous(c: &mut Criterion) {
+fn main() {
     let (w, l, n) = (32, 256, 1 << 14);
 
-    let mut group = c.benchmark_group("contiguous");
+    let mut group = BenchGroup::new("contiguous");
     group.sample_size(10);
 
     for &p in &[32usize, 512, 8192] {
-        group.bench_function(BenchmarkId::new("umm_read", p), |bch| {
-            bch.iter(|| {
-                let mut m = Machine::umm(w, l, n);
-                run_access(&mut m, n, p, AccessMode::Read).unwrap().time
-            });
+        group.bench(&format!("umm_read/{p}"), || {
+            let mut m = Machine::umm(w, l, n);
+            run_access(&mut m, n, p, AccessMode::Read).unwrap().time
         });
     }
 
-    group.bench_function(BenchmarkId::new("umm_read_nopipeline", 512usize), |bch| {
-        bch.iter(|| {
-            let mut cfg = EngineConfig::umm(w, l, n);
-            cfg.pipelined = false;
-            let mut m = Machine::from_config(ModelKind::Umm, cfg).unwrap();
-            run_access(&mut m, n, 512, AccessMode::Read).unwrap().time
-        });
+    group.bench("umm_read_nopipeline/512", || {
+        let mut cfg = EngineConfig::umm(w, l, n);
+        cfg.pipelined = false;
+        let mut m = Machine::from_config(ModelKind::Umm, cfg).unwrap();
+        run_access(&mut m, n, 512, AccessMode::Read).unwrap().time
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_contiguous);
-criterion_main!(benches);

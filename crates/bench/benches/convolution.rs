@@ -1,50 +1,34 @@
-//! Criterion benches for the direct-convolution algorithms
+//! Wall-clock benches for the direct-convolution algorithms
 //! (Table I, convolution row).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hmm_algorithms::convolution::hmm::shared_words;
 use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_core::Machine;
 use hmm_pram::algorithms as pram_algos;
+use hmm_util::bench::BenchGroup;
 use hmm_workloads::random_words;
 
-fn bench_convolution(c: &mut Criterion) {
+fn main() {
     let (n, k) = (1 << 12, 32);
     let (w, l, d, p) = (32, 256, 16, 2048);
     let a = random_words(k, 1, 50);
     let b = random_words(n + k - 1, 2, 50);
 
-    let mut group = c.benchmark_group("convolution");
+    let mut group = BenchGroup::new("convolution");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("pram_lemma4", format!("n{n}k{k}")), |bch| {
-        bch.iter(|| pram_algos::run_convolution(&a, &b, p).unwrap().0);
+    group.bench(&format!("pram_lemma4/n{n}k{k}"), || {
+        pram_algos::run_convolution(&a, &b, p).unwrap().0
     });
 
-    group.bench_function(
-        BenchmarkId::new("umm_theorem8", format!("n{n}k{k}")),
-        |bch| {
-            bch.iter(|| {
-                let mut m = Machine::umm(w, l, 2 * (n + 2 * k));
-                run_conv_dmm_umm(&mut m, &a, &b, p).unwrap().value
-            });
-        },
-    );
+    group.bench(&format!("umm_theorem8/n{n}k{k}"), || {
+        let mut m = Machine::umm(w, l, 2 * (n + 2 * k));
+        run_conv_dmm_umm(&mut m, &a, &b, p).unwrap().value
+    });
 
-    group.bench_function(
-        BenchmarkId::new("hmm_theorem9", format!("n{n}k{k}")),
-        |bch| {
-            bch.iter(|| {
-                let m_slice = n.div_ceil(d);
-                let mut m =
-                    Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
-                run_conv_hmm(&mut m, &a, &b, p).unwrap().value
-            });
-        },
-    );
-
-    group.finish();
+    group.bench(&format!("hmm_theorem9/n{n}k{k}"), || {
+        let m_slice = n.div_ceil(d);
+        let mut m = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
+        run_conv_hmm(&mut m, &a, &b, p).unwrap().value
+    });
 }
-
-criterion_group!(benches, bench_convolution);
-criterion_main!(benches);

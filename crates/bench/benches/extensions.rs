@@ -1,44 +1,38 @@
-//! Criterion benches for the extension algorithms: prefix-sums and
-//! offline permutation.
+//! Wall-clock benches for the extension algorithms: prefix-sums,
+//! offline permutation, bitonic sort, and tiled matrix multiply.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmm_algorithms::matmul::{matmul_shared_words, run_matmul_hmm, run_matmul_umm};
 use hmm_algorithms::permutation::{
     run_permutation_naive, run_permutation_scheduled, schedule_permutation, transpose_perm,
 };
-use hmm_algorithms::matmul::{matmul_shared_words, run_matmul_hmm, run_matmul_umm};
 use hmm_algorithms::prefix::{prefix_shared_words, run_prefix_dmm_umm, run_prefix_hmm};
 use hmm_algorithms::sort::{run_sort_hmm, run_sort_umm};
 use hmm_core::Machine;
+use hmm_util::bench::BenchGroup;
 use hmm_workloads::random_words;
 
-fn bench_prefix(c: &mut Criterion) {
+fn bench_prefix() {
     let n = 1 << 12;
     let (w, l, d, p) = (32, 256, 8, 512);
     let input = random_words(n, 7, 100);
 
-    let mut group = c.benchmark_group("prefix");
+    let mut group = BenchGroup::new("prefix");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("umm_blelloch", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::umm(w, l, 3 * n);
-            run_prefix_dmm_umm(&mut m, &input, p).unwrap().value
-        });
+    group.bench(&format!("umm_blelloch/{n}"), || {
+        let mut m = Machine::umm(w, l, 3 * n);
+        run_prefix_dmm_umm(&mut m, &input, p).unwrap().value
     });
 
-    group.bench_function(BenchmarkId::new("hmm_staged", n), |bch| {
-        bch.iter(|| {
-            let chunk = n.div_ceil(d);
-            let shared = prefix_shared_words(chunk, p / d, d);
-            let mut m = Machine::hmm(d, w, l, 2 * n + d + 8, shared);
-            run_prefix_hmm(&mut m, &input, p).unwrap().value
-        });
+    group.bench(&format!("hmm_staged/{n}"), || {
+        let chunk = n.div_ceil(d);
+        let shared = prefix_shared_words(chunk, p / d, d);
+        let mut m = Machine::hmm(d, w, l, 2 * n + d + 8, shared);
+        run_prefix_hmm(&mut m, &input, p).unwrap().value
     });
-
-    group.finish();
 }
 
-fn bench_permutation(c: &mut Criterion) {
+fn bench_permutation() {
     let w = 32;
     let m_side = 64;
     let n = m_side * m_side;
@@ -46,91 +40,80 @@ fn bench_permutation(c: &mut Criterion) {
     let perm = transpose_perm(m_side);
     let input = random_words(n, 8, 100);
 
-    let mut group = c.benchmark_group("permutation");
+    let mut group = BenchGroup::new("permutation");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("edge_coloring_host", n), |bch| {
-        bch.iter(|| schedule_permutation(&perm, w).rounds.len());
+    group.bench(&format!("edge_coloring_host/{n}"), || {
+        schedule_permutation(&perm, w).rounds.len()
     });
 
-    group.bench_function(BenchmarkId::new("scheduled_transpose", n), |bch| {
-        bch.iter(|| {
-            let rounds = n.div_ceil(w) + 1;
-            let mut m = Machine::dmm(w, l, 2 * n + 2 * rounds * w + 64);
-            run_permutation_scheduled(&mut m, &input, &perm, p)
-                .unwrap()
-                .report
-                .time
-        });
+    group.bench(&format!("scheduled_transpose/{n}"), || {
+        let rounds = n.div_ceil(w) + 1;
+        let mut m = Machine::dmm(w, l, 2 * n + 2 * rounds * w + 64);
+        run_permutation_scheduled(&mut m, &input, &perm, p)
+            .unwrap()
+            .report
+            .time
     });
 
-    group.bench_function(BenchmarkId::new("naive_transpose", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::dmm(w, l, 3 * n + 16);
-            run_permutation_naive(&mut m, &input, &perm, p)
-                .unwrap()
-                .report
-                .time
-        });
+    group.bench(&format!("naive_transpose/{n}"), || {
+        let mut m = Machine::dmm(w, l, 3 * n + 16);
+        run_permutation_naive(&mut m, &input, &perm, p)
+            .unwrap()
+            .report
+            .time
     });
-
-    group.finish();
 }
 
-fn bench_sort(c: &mut Criterion) {
+fn bench_sort() {
     let n = 1 << 10;
     let (w, l, d, p) = (32, 64, 8, 256);
     let input = random_words(n, 9, 1_000_000);
 
-    let mut group = c.benchmark_group("sort");
+    let mut group = BenchGroup::new("sort");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("umm_bitonic", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::umm(w, l, n);
-            run_sort_umm(&mut m, &input, p).unwrap().report.time
-        });
+    group.bench(&format!("umm_bitonic/{n}"), || {
+        let mut m = Machine::umm(w, l, n);
+        run_sort_umm(&mut m, &input, p).unwrap().report.time
     });
 
-    group.bench_function(BenchmarkId::new("hmm_staged_bitonic", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::hmm(d, w, l, n, n / d);
-            run_sort_hmm(&mut m, &input, p).unwrap().report.time
-        });
+    group.bench(&format!("hmm_staged_bitonic/{n}"), || {
+        let mut m = Machine::hmm(d, w, l, n, n / d);
+        run_sort_hmm(&mut m, &input, p).unwrap().report.time
     });
-
-    group.finish();
 }
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let m_side = 32;
     let (w, l, d, tw, p) = (32, 64, 8, 8, 256);
     let a = random_words(m_side * m_side, 1, 20);
     let b = random_words(m_side * m_side, 2, 20);
 
-    let mut group = c.benchmark_group("matmul");
+    let mut group = BenchGroup::new("matmul");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("umm", m_side), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::umm(w, l, 3 * m_side * m_side + 8);
-            run_matmul_umm(&mut m, &a, &b, m_side, p).unwrap().report.time
-        });
+    group.bench(&format!("umm/{m_side}"), || {
+        let mut m = Machine::umm(w, l, 3 * m_side * m_side + 8);
+        run_matmul_umm(&mut m, &a, &b, m_side, p)
+            .unwrap()
+            .report
+            .time
     });
 
-    group.bench_function(BenchmarkId::new("hmm_tiled", m_side), |bch| {
-        bch.iter(|| {
-            let shared = matmul_shared_words(m_side, d, tw);
-            let mut m = Machine::hmm(d, w, l, 3 * m_side * m_side + 8, shared);
-            run_matmul_hmm(&mut m, &a, &b, m_side, tw, p)
-                .unwrap()
-                .report
-                .time
-        });
+    group.bench(&format!("hmm_tiled/{m_side}"), || {
+        let shared = matmul_shared_words(m_side, d, tw);
+        let mut m = Machine::hmm(d, w, l, 3 * m_side * m_side + 8, shared);
+        run_matmul_hmm(&mut m, &a, &b, m_side, tw, p)
+            .unwrap()
+            .report
+            .time
     });
-
-    group.finish();
 }
 
-criterion_group!(benches, bench_prefix, bench_permutation, bench_sort, bench_matmul);
-criterion_main!(benches);
+fn main() {
+    bench_prefix();
+    bench_permutation();
+    bench_sort();
+    bench_matmul();
+}

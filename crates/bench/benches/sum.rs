@@ -1,57 +1,44 @@
-//! Criterion benches for the summing algorithms (Table I, sum row).
+//! Wall-clock benches for the summing algorithms (Table I, sum row).
 //!
 //! Each bench simulates one full kernel launch; the interesting output is
 //! in the `table1` binary (simulated time units) — these benches track the
 //! *simulator's* wall-clock cost so regressions in the engine show up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm, run_sum_hmm_single_dmm};
 use hmm_core::Machine;
 use hmm_pram::algorithms as pram_algos;
+use hmm_util::bench::BenchGroup;
 use hmm_workloads::random_words;
 
-fn bench_sum(c: &mut Criterion) {
+fn main() {
     let n = 1 << 14;
     let (w, l, d, p) = (32, 256, 16, 2048);
     let input = random_words(n, 42, 100);
 
-    let mut group = c.benchmark_group("sum");
+    let mut group = BenchGroup::new("sum");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("pram_lemma3", n), |bch| {
-        bch.iter(|| pram_algos::run_sum(&input, p).unwrap().0);
+    group.bench(&format!("pram_lemma3/{n}"), || {
+        pram_algos::run_sum(&input, p).unwrap().0
     });
 
-    group.bench_function(BenchmarkId::new("umm_lemma5", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::umm(w, l, n.next_power_of_two());
-            run_sum_dmm_umm(&mut m, &input, p).unwrap().value
-        });
+    group.bench(&format!("umm_lemma5/{n}"), || {
+        let mut m = Machine::umm(w, l, n.next_power_of_two());
+        run_sum_dmm_umm(&mut m, &input, p).unwrap().value
     });
 
-    group.bench_function(BenchmarkId::new("dmm_lemma5", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::dmm(w, l, n.next_power_of_two());
-            run_sum_dmm_umm(&mut m, &input, p).unwrap().value
-        });
+    group.bench(&format!("dmm_lemma5/{n}"), || {
+        let mut m = Machine::dmm(w, l, n.next_power_of_two());
+        run_sum_dmm_umm(&mut m, &input, p).unwrap().value
     });
 
-    group.bench_function(BenchmarkId::new("hmm_lemma6_single_dmm", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::hmm(d, w, l, n + 2 * w * l + 16, 64);
-            run_sum_hmm_single_dmm(&mut m, &input, w * l).unwrap().value
-        });
+    group.bench(&format!("hmm_lemma6_single_dmm/{n}"), || {
+        let mut m = Machine::hmm(d, w, l, n + 2 * w * l + 16, 64);
+        run_sum_hmm_single_dmm(&mut m, &input, w * l).unwrap().value
     });
 
-    group.bench_function(BenchmarkId::new("hmm_theorem7", n), |bch| {
-        bch.iter(|| {
-            let mut m = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two());
-            run_sum_hmm(&mut m, &input, p).unwrap().value
-        });
+    group.bench(&format!("hmm_theorem7/{n}"), || {
+        let mut m = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two());
+        run_sum_hmm(&mut m, &input, p).unwrap().value
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_sum);
-criterion_main!(benches);

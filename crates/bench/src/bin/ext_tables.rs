@@ -8,8 +8,8 @@ use hmm_algorithms::matmul::{matmul_shared_words, run_matmul_hmm, run_matmul_umm
 use hmm_algorithms::permutation::{
     run_permutation_naive, run_permutation_scheduled, transpose_perm,
 };
-use hmm_algorithms::sort::{run_sort_hmm, run_sort_umm};
 use hmm_algorithms::prefix::{prefix_shared_words, run_prefix_dmm_umm, run_prefix_hmm};
+use hmm_algorithms::sort::{run_sort_hmm, run_sort_umm};
 use hmm_bench::{dump, header, row, Measurement};
 use hmm_core::Machine;
 use hmm_theory::{lg, Params};
@@ -43,7 +43,14 @@ fn main() {
             th.report.time.to_string(),
             format!("{:.2}x", tu.report.time as f64 / th.report.time as f64),
         ]);
-        let pr = Params { n, k: 1, p, w, l, d };
+        let pr = Params {
+            n,
+            k: 1,
+            p,
+            w,
+            l,
+            d,
+        };
         let (nf, pf, wf, lf) = (n as f64, p as f64, w as f64, l as f64);
         ms.push(Measurement::new(
             "ext/prefix/umm",
@@ -81,10 +88,20 @@ fn main() {
             l.to_string(),
             naive.report.time.to_string(),
             sched.report.time.to_string(),
-            format!("{:.2}x", naive.report.time as f64 / sched.report.time as f64),
+            format!(
+                "{:.2}x",
+                naive.report.time as f64 / sched.report.time as f64
+            ),
             naive.report.global.max_slots_per_transaction.to_string(),
         ]);
-        let pr = Params { n, k: 1, p, w, l, d: 1 };
+        let pr = Params {
+            n,
+            k: 1,
+            p,
+            w,
+            l,
+            d: 1,
+        };
         let (nf, pf, wf, lf) = (n as f64, p as f64, w as f64, l as f64);
         ms.push(Measurement::new(
             "ext/perm/scheduled",
@@ -123,7 +140,14 @@ fn main() {
             th.report.time.to_string(),
             format!("{:.2}x", tu.report.time as f64 / th.report.time as f64),
         ]);
-        let pr = Params { n, k: 1, p, w, l, d };
+        let pr = Params {
+            n,
+            k: 1,
+            p,
+            w,
+            l,
+            d,
+        };
         let (nf, pf, wf, lf) = (n as f64, p as f64, w as f64, l as f64);
         let lgn = lg(n);
         ms.push(Measurement::new(
@@ -163,10 +187,22 @@ fn main() {
             th.report.time.to_string(),
             format!("{:.2}x", tu.report.time as f64 / th.report.time as f64),
         ]);
-        let pr = Params { n: m_side * m_side, k: m_side, p, w, l, d };
+        let pr = Params {
+            n: m_side * m_side,
+            k: m_side,
+            p,
+            w,
+            l,
+            d,
+        };
         let m3 = (m_side * m_side * m_side) as f64;
         let (pf, wf, lf) = (p as f64, w as f64, l as f64);
-        ms.push(Measurement::new("ext/matmul/umm", pr, tu.report.time, m3 / wf + m3 * lf / pf));
+        ms.push(Measurement::new(
+            "ext/matmul/umm",
+            pr,
+            tu.report.time,
+            m3 / wf + m3 * lf / pf,
+        ));
         ms.push(Measurement::new(
             "ext/matmul/hmm",
             pr,

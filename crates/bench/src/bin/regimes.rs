@@ -29,7 +29,14 @@ fn main() {
         for &p in &ps {
             print!("{p:>8} |");
             for &l in &ls {
-                let pr = Params { n, k: 1, p, w, l, d: if is_hmm { d } else { 1 } };
+                let pr = Params {
+                    n,
+                    k: 1,
+                    p,
+                    w,
+                    l,
+                    d: if is_hmm { d } else { 1 },
+                };
                 let lb = if is_hmm {
                     table2::sum_hmm(pr)
                 } else {
@@ -64,7 +71,10 @@ fn main() {
         bw.2,
         bw.2 / bw.0
     );
-    assert!(bw.1 / bw.0 > 1.5, "halving w should hurt a bandwidth-bound run");
+    assert!(
+        bw.1 / bw.0 > 1.5,
+        "halving w should hurt a bandwidth-bound run"
+    );
     assert!(bw.2 / bw.0 < 1.3, "doubling l should not");
 
     let lat = (
@@ -80,7 +90,10 @@ fn main() {
         lat.2,
         lat.2 / lat.0
     );
-    assert!(lat.2 / lat.0 > 1.5, "doubling l should hurt a latency-bound run");
+    assert!(
+        lat.2 / lat.0 > 1.5,
+        "doubling l should hurt a latency-bound run"
+    );
     assert!(lat.1 / lat.0 < 1.3, "halving w should not");
 
     // HMM utilization at the two extremes, showing where the pipeline sits.

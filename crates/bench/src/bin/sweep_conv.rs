@@ -46,9 +46,12 @@ fn main() {
             format!("{pred:.0}"),
             format!("{:.2}x", t8 as f64 / t9 as f64),
         ]);
-        ms.push(Measurement::new("sweep_conv/k/umm", pr, t8, table1::conv_dmm_umm(
-            Params { p: p.min(n), ..pr },
-        )));
+        ms.push(Measurement::new(
+            "sweep_conv/k/umm",
+            pr,
+            t8,
+            table1::conv_dmm_umm(Params { p: p.min(n), ..pr }),
+        ));
         ms.push(Measurement::new("sweep_conv/k/hmm", pr, t9, pred));
     }
 
@@ -72,10 +75,18 @@ fn main() {
             t9.to_string(),
             format!("{:.2}x", t8 as f64 / t9 as f64),
         ]);
-        ms.push(Measurement::new("sweep_conv/l/umm", pr, t8, table1::conv_dmm_umm(
-            Params { p: p.min(n), ..pr },
-        )));
-        ms.push(Measurement::new("sweep_conv/l/hmm", pr, t9, table1::conv_hmm(pr)));
+        ms.push(Measurement::new(
+            "sweep_conv/l/umm",
+            pr,
+            t8,
+            table1::conv_dmm_umm(Params { p: p.min(n), ..pr }),
+        ));
+        ms.push(Measurement::new(
+            "sweep_conv/l/hmm",
+            pr,
+            t9,
+            table1::conv_hmm(pr),
+        ));
     }
 
     dump("sweep_conv", &ms);

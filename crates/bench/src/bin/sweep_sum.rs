@@ -35,11 +35,21 @@ fn main() {
 
         let q = (w * l).min(p);
         let mut h1 = Machine::hmm(d, w, l, n + 2 * q.next_power_of_two(), 64);
-        let t6 = run_sum_hmm_single_dmm(&mut h1, &input, q).unwrap().report.time;
+        let t6 = run_sum_hmm_single_dmm(&mut h1, &input, q)
+            .unwrap()
+            .report
+            .time;
 
         let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two());
         let t7 = run_sum_hmm(&mut hmm, &input, p).unwrap().report.time;
-        let pr = Params { n, k: 1, p, w, l, d };
+        let pr = Params {
+            n,
+            k: 1,
+            p,
+            w,
+            l,
+            d,
+        };
         let pred = table1::sum_hmm(pr);
 
         row(&[
@@ -49,7 +59,12 @@ fn main() {
             t7.to_string(),
             format!("{pred:.0}"),
         ]);
-        ms.push(Measurement::new("sweep_sum/latency/umm", pr, t5, table1::sum_dmm_umm(pr)));
+        ms.push(Measurement::new(
+            "sweep_sum/latency/umm",
+            pr,
+            t5,
+            table1::sum_dmm_umm(pr),
+        ));
         ms.push(Measurement::new("sweep_sum/latency/hmm", pr, t7, pred));
     }
 
@@ -60,7 +75,14 @@ fn main() {
         let p = 128 * d;
         let mut hmm = Machine::hmm(d, w, l, n + 2 * d.next_power_of_two(), 256);
         let t7 = run_sum_hmm(&mut hmm, &input, p).unwrap().report.time;
-        let pr = Params { n, k: 1, p, w, l, d };
+        let pr = Params {
+            n,
+            k: 1,
+            p,
+            w,
+            l,
+            d,
+        };
         let pred = table1::sum_hmm(pr);
         row(&[
             d.to_string(),
@@ -79,9 +101,20 @@ fn main() {
         let mut m = Machine::from_config(ModelKind::Hmm, cfg).unwrap();
         let t = run_sum_hmm(&mut m, &input, 2048).unwrap().report.time;
         row(&[pipelined.to_string(), t.to_string()]);
-        let pr = Params { n, k: 1, p: 2048, w, l: 256, d: 16 };
+        let pr = Params {
+            n,
+            k: 1,
+            p: 2048,
+            w,
+            l: 256,
+            d: 16,
+        };
         ms.push(Measurement::new(
-            if pipelined { "sweep_sum/pipelined" } else { "sweep_sum/no_pipeline" },
+            if pipelined {
+                "sweep_sum/pipelined"
+            } else {
+                "sweep_sum/no_pipeline"
+            },
             pr,
             t,
             table1::sum_hmm(pr),

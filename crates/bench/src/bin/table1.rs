@@ -151,11 +151,7 @@ fn main() {
         }
     }
     println!();
-    for name in [
-        "table1/conv/pram",
-        "table1/conv/dmm_umm",
-        "table1/conv/hmm",
-    ] {
+    for name in ["table1/conv/pram", "table1/conv/dmm_umm", "table1/conv/hmm"] {
         let ms: Vec<_> = conv_ms
             .iter()
             .filter(|m| m.experiment == name)

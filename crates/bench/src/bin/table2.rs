@@ -55,8 +55,17 @@ fn main() {
     println!("== Table II: lower-bound limitations vs measured time ==");
     println!("machine: w = {w}, l = {l}, d = {d}\n");
     header(&[
-        "model", "n", "k", "p", "speedup", "bandwidth", "latency", "reduction", "LB-total",
-        "measured", "meas/LB",
+        "model",
+        "n",
+        "k",
+        "p",
+        "speedup",
+        "bandwidth",
+        "latency",
+        "reduction",
+        "LB-total",
+        "measured",
+        "meas/LB",
     ]);
 
     let mut ms = Vec::new();
@@ -78,12 +87,24 @@ fn main() {
         let mut umm = Machine::umm(w, l, n.next_power_of_two());
         let du = run_sum_dmm_umm(&mut umm, &input, p).expect("umm");
         let pr = params(n, 1, p, w, l, 1);
-        ms.push(print_point("sum/dmm_umm", pr, table2::sum_dmm_umm(pr), du.report.time, &mut valid));
+        ms.push(print_point(
+            "sum/dmm_umm",
+            pr,
+            table2::sum_dmm_umm(pr),
+            du.report.time,
+            &mut valid,
+        ));
 
         let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64));
         let hm = run_sum_hmm(&mut hmm, &input, p).expect("hmm");
         let pr = params(n, 1, p, w, l, d);
-        ms.push(print_point("sum/hmm", pr, table2::sum_hmm(pr), hm.report.time, &mut valid));
+        ms.push(print_point(
+            "sum/hmm",
+            pr,
+            table2::sum_hmm(pr),
+            hm.report.time,
+            &mut valid,
+        ));
     }
 
     // --- Direct convolution --------------------------------------------------
@@ -103,13 +124,25 @@ fn main() {
         let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
         let du = run_conv_dmm_umm(&mut umm, &a, &b, p).expect("umm");
         let pr = params(n, k, p.min(n), w, l, 1);
-        ms.push(print_point("conv/dmm_umm", pr, table2::conv_dmm_umm(pr), du.report.time, &mut valid));
+        ms.push(print_point(
+            "conv/dmm_umm",
+            pr,
+            table2::conv_dmm_umm(pr),
+            du.report.time,
+            &mut valid,
+        ));
 
         let m_slice = n.div_ceil(d);
         let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
         let hm = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm");
         let pr = params(n, k, p, w, l, d);
-        ms.push(print_point("conv/hmm", pr, table2::conv_hmm(pr), hm.report.time, &mut valid));
+        ms.push(print_point(
+            "conv/hmm",
+            pr,
+            table2::conv_hmm(pr),
+            hm.report.time,
+            &mut valid,
+        ));
     }
 
     // Validity: measured time must dominate every individual limitation.

@@ -1,7 +1,7 @@
 //! # hmm-bench — experiment harness
 //!
 //! Shared helpers for the table-generator binaries (`table1`, `table2`,
-//! `fig4`, `sweep_sum`, `sweep_conv`) and the Criterion benches. The
+//! `fig4`, `sweep_sum`, `sweep_conv`) and the bench targets. The
 //! binaries print the paper's tables with *measured* simulated time units
 //! next to the closed-form predictions, and dump machine-readable JSON to
 //! `target/experiments/` for `EXPERIMENTS.md`.
@@ -11,10 +11,10 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use hmm_util::Value;
 
 /// One measured sweep point, serialised into the experiment dumps.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Experiment id, e.g. "table1/sum/hmm".
     pub experiment: String,
@@ -41,12 +41,7 @@ pub struct Measurement {
 impl Measurement {
     /// Build a measurement from a sweep point and its outcome.
     #[must_use]
-    pub fn new(
-        experiment: &str,
-        pr: hmm_theory::Params,
-        measured: u64,
-        predicted: f64,
-    ) -> Self {
+    pub fn new(experiment: &str, pr: hmm_theory::Params, measured: u64, predicted: f64) -> Self {
         Self {
             experiment: experiment.to_string(),
             n: pr.n,
@@ -60,13 +55,29 @@ impl Measurement {
             ratio: measured as f64 / predicted,
         }
     }
+
+    /// JSON rendering for the experiment dumps.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("experiment", self.experiment.as_str().into()),
+            ("n", self.n.into()),
+            ("k", self.k.into()),
+            ("p", self.p.into()),
+            ("w", self.w.into()),
+            ("l", self.l.into()),
+            ("d", self.d.into()),
+            ("measured", self.measured.into()),
+            ("predicted", self.predicted.into()),
+            ("ratio", self.ratio.into()),
+        ])
+    }
 }
 
 /// Where experiment dumps land.
 #[must_use]
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }
@@ -74,8 +85,8 @@ pub fn experiments_dir() -> PathBuf {
 /// Write a JSON dump of measurements.
 pub fn dump(name: &str, measurements: &[Measurement]) {
     let path = experiments_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(measurements).expect("serialise measurements");
-    fs::write(&path, json).expect("write experiment dump");
+    let doc = Value::Array(measurements.iter().map(Measurement::to_json).collect());
+    fs::write(&path, doc.to_json_pretty()).expect("write experiment dump");
     println!("\n  [dump] {}", path.display());
 }
 

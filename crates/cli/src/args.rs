@@ -180,7 +180,11 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(ParseError::MissingValue("x".into()).to_string().contains("x"));
-        assert!(ParseError::BadNumber("n".into(), "z".into()).to_string().contains("n"));
+        assert!(ParseError::MissingValue("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(ParseError::BadNumber("n".into(), "z".into())
+            .to_string()
+            .contains('n'));
     }
 }

@@ -9,6 +9,7 @@
 //!   conv       direct convolution (Theorem 8 / Theorem 9)
 //!   prefix     prefix sums
 //!   sort       bitonic sort
+//!   lint       static analysis of the named kernels (exit 2 on errors)
 //!   info       print machine presets
 //!
 //! common flags:
@@ -16,14 +17,20 @@
 //!   --n N --k K --p P --w W --l L --d D
 //!   --seed S                workload seed
 //!   --json                  machine-readable output
+//!
+//! lint flags:
+//!   --kernel NAME           analyse one kernel (see `lint` for names)
+//!   --all                   analyse every shipped kernel
 //! ```
 //!
 //! The argument grammar is `--key value` pairs after the command; the
-//! parser is in [`args`], the command implementations in [`run`].
+//! parser is in [`args`], the command implementations in [`run`], the
+//! static-analysis front end in [`lint`].
 
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod lint;
 pub mod run;
 
 pub use args::{Args, ParseError};

@@ -16,8 +16,9 @@ fn main() {
     if tokens.is_empty() || tokens[0] == "--help" || tokens[0] == "help" {
         emit(
             "hmm-cli — run the HMM paper's algorithms on simulated machines\n\n\
-             usage: hmm-cli <sum|reduce|conv|prefix|sort|info> [--key value]... [--json]\n\
-             flags: --machine dmm|umm|hmm  --n --k --p --w --l --d --seed --op sum|min|max\n\n\
+             usage: hmm-cli <sum|reduce|conv|prefix|sort|lint|info> [--key value]... [--json]\n\
+             flags: --machine dmm|umm|hmm  --n --k --p --w --l --d --seed --op sum|min|max\n\
+             lint:  hmm-cli lint --all | --kernel <name>   (exit 2 on error findings)\n\n\
              example: hmm-cli conv --machine hmm --n 4096 --k 64 --p 2048 --d 16 --json",
         );
         return;
@@ -26,7 +27,12 @@ fn main() {
         .map_err(hmm_cli::run::CliError::Parse)
         .and_then(|a| execute(&a).map(|o| (a.has("json"), o)))
     {
-        Ok((json, outcome)) => emit(&hmm_cli::run::render(&outcome, json)),
+        Ok((json, outcome)) => {
+            emit(&hmm_cli::run::render(&outcome, json));
+            if outcome.lint_failed {
+                std::process::exit(2);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -10,15 +10,21 @@ use hmm_machine::SimReport;
 use hmm_workloads::random_words;
 
 use crate::args::{Args, ParseError};
+use std::fmt::Write as _;
 
 /// What a command produced: a one-line human summary, the simulation
 /// report, and a value digest for verification.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Outcome {
-    /// One-line human-readable summary.
+    /// Human-readable summary (the full findings text for `lint`).
     pub summary: String,
-    /// The simulation report (None for `info`).
+    /// The simulation report (None for `info` and `lint`).
     pub report: Option<SimReport>,
+    /// JSON payload for `lint` runs (None for simulation commands).
+    pub lint: Option<hmm_util::Value>,
+    /// Whether lint found error-severity diagnostics; the binary exits
+    /// with status 2 when set.
+    pub lint_failed: bool,
 }
 
 /// Errors surfaced to the user.
@@ -37,7 +43,10 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Parse(e) => write!(f, "argument error: {e}"),
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
-            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, info)"),
+            CliError::UnknownCommand(c) => write!(
+                f,
+                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, lint, info)"
+            ),
         }
     }
 }
@@ -114,7 +123,7 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                     "presets: gtx580(d={}, w={}, l={}), medium(d=4, w=16, l=64), tiny(d=2, w=4, l=8)",
                     g.d, g.w, g.l
                 ),
-                report: None,
+                ..Outcome::default()
             })
         }
         "sum" | "reduce" => {
@@ -142,6 +151,7 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                     op, spec.n, spec.kind, run.value, run.report.time
                 ),
                 report: Some(run.report),
+                ..Outcome::default()
             })
         }
         "conv" => {
@@ -151,10 +161,8 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
             let run = if spec.kind == "hmm" {
                 let p = spec.p_multiple_of_d();
                 let m_slice = spec.n.div_ceil(spec.d);
-                let mut m = spec.build(
-                    2 * (spec.n + 2 * spec.k),
-                    shared_words(m_slice, spec.k) + 8,
-                );
+                let mut m =
+                    spec.build(2 * (spec.n + 2 * spec.k), shared_words(m_slice, spec.k) + 8);
                 run_conv_hmm(&mut m, &av, &bv, p)?
             } else {
                 let mut m = spec.build(2 * (spec.n + 2 * spec.k), 0);
@@ -166,6 +174,7 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                     spec.n, spec.k, spec.kind, run.value[0], run.report.time
                 ),
                 report: Some(run.report),
+                ..Outcome::default()
             })
         }
         "prefix" => {
@@ -190,6 +199,7 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                     run.report.time
                 ),
                 report: Some(run.report),
+                ..Outcome::default()
             })
         }
         "sort" => {
@@ -212,6 +222,16 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                     spec.n, spec.kind, run.report.time
                 ),
                 report: Some(run.report),
+                ..Outcome::default()
+            })
+        }
+        "lint" => {
+            let lint = crate::lint::execute(a)?;
+            Ok(Outcome {
+                summary: lint.text.trim_end().to_string(),
+                lint: Some(lint.json),
+                lint_failed: lint.failed,
+                ..Outcome::default()
             })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -222,27 +242,30 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
 #[must_use]
 pub fn render(outcome: &Outcome, json: bool) -> String {
     if json {
+        if let Some(lint) = &outcome.lint {
+            return lint.to_json_pretty();
+        }
         let report = outcome
             .report
             .as_ref()
-            .map(|r| serde_json::to_value(r).expect("report serialises"))
-            .unwrap_or(serde_json::Value::Null);
-        serde_json::to_string_pretty(&serde_json::json!({
-            "summary": outcome.summary,
-            "report": report,
-        }))
-        .expect("json encodes")
+            .map_or(hmm_util::Value::Null, hmm_machine::SimReport::to_json);
+        hmm_util::Value::object(vec![
+            ("summary", outcome.summary.as_str().into()),
+            ("report", report),
+        ])
+        .to_json_pretty()
     } else {
         let mut out = outcome.summary.clone();
         if let Some(r) = &outcome.report {
-            out.push_str(&format!(
+            let _ = write!(
+                out,
                 "\n  instructions {}  global slots {} (util {:.2})  shared slots {}  barriers {}",
                 r.instructions,
                 r.global.slots,
                 r.global_utilization(),
                 r.shared.slots,
                 r.barriers
-            ));
+            );
         }
         out
     }
@@ -267,8 +290,10 @@ mod tests {
     #[test]
     fn sum_runs_on_all_machines() {
         for m in ["dmm", "umm", "hmm"] {
-            let o = run_line(&format!("sum --machine {m} --n 512 --p 64 --w 8 --l 8 --d 4"))
-                .unwrap();
+            let o = run_line(&format!(
+                "sum --machine {m} --n 512 --p 64 --w 8 --l 8 --d 4"
+            ))
+            .unwrap();
             assert!(o.report.is_some(), "{m}");
         }
     }
@@ -311,7 +336,7 @@ mod tests {
         let text = render(&o, false);
         assert!(text.contains("instructions"));
         let json = render(&o, true);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = hmm_util::json::parse(&json).unwrap();
         assert!(v["report"]["time"].as_u64().unwrap() > 0);
     }
 }

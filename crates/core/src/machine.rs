@@ -1,7 +1,9 @@
 //! The user-facing machine and kernel types.
 
-use hmm_machine::{Engine, EngineConfig, LaunchSpec, Program, SimError, SimResult, SimReport, Word};
 use hmm_machine::trace::Trace;
+use hmm_machine::{
+    Engine, EngineConfig, LaunchSpec, Program, SimError, SimReport, SimResult, Word,
+};
 
 /// Which of the paper's three models a [`Machine`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -246,6 +248,9 @@ impl Machine {
     ///
     /// # Errors
     /// Propagates simulation errors ([`SimError`]).
+    // By-value `shape` keeps call sites literal-friendly (`LaunchShape::Even(p)`);
+    // the variant with a Vec is rare and cheap relative to a simulation run.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn launch(&mut self, kernel: &Kernel, shape: LaunchShape) -> SimResult<SimReport> {
         let spec = shape.to_spec(kernel, self.engine.config().dmms)?;
         self.engine.run(&spec)
@@ -287,7 +292,8 @@ mod tests {
         assert_eq!(&m.global()[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
 
         m.clear_global();
-        m.launch(&store_gid(), LaunchShape::PerDmm(vec![3, 5])).unwrap();
+        m.launch(&store_gid(), LaunchShape::PerDmm(vec![3, 5]))
+            .unwrap();
         assert_eq!(&m.global()[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
 
         let err = m

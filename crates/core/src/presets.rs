@@ -52,7 +52,7 @@ impl MachineParams {
     }
 }
 
-/// NVIDIA GeForce GTX580 as described in Section III of the paper:
+/// NVIDIA `GeForce` GTX580 as described in Section III of the paper:
 /// `d = 16` streaming multiprocessors, warps of `w = 32` threads, shared
 /// memory arranged in 32 banks, and a global latency of several hundred
 /// clock cycles (we use 400). The shared size of 12K words corresponds to

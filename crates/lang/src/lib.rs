@@ -37,7 +37,7 @@ pub mod patterns;
 pub mod pretty;
 
 pub use ast::{Expr, Special, Stmt, Var};
-pub use compile::{CompileError, KernelBuilder};
+pub use compile::{CheckError, CompileError, KernelBuilder};
 pub use pretty::pretty;
 
 /// Everything needed to write kernels, in one import.

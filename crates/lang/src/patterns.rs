@@ -18,12 +18,22 @@ use crate::compile::KernelBuilder;
 
 /// `for i = gid; i < n; i += p { body(i) }` — the machine-wide
 /// grid-stride loop. `i` must be a variable owned by the caller.
-pub fn grid_stride(k: &mut KernelBuilder, i: Var, n: usize, body: impl FnOnce(&mut KernelBuilder, Var)) {
+pub fn grid_stride(
+    k: &mut KernelBuilder,
+    i: Var,
+    n: usize,
+    body: impl FnOnce(&mut KernelBuilder, Var),
+) {
     k.for_strided(i, gid(), immu(n), p(), |k| body(k, i));
 }
 
 /// `for i = ltid; i < len; i += pd { body(i) }` — the per-DMM stride.
-pub fn dmm_stride(k: &mut KernelBuilder, i: Var, len: usize, body: impl FnOnce(&mut KernelBuilder, Var)) {
+pub fn dmm_stride(
+    k: &mut KernelBuilder,
+    i: Var,
+    len: usize,
+    body: impl FnOnce(&mut KernelBuilder, Var),
+) {
     k.for_strided(i, ltid(), immu(len), pd(), |k| body(k, i));
 }
 
@@ -32,7 +42,7 @@ pub fn dmm_stride(k: &mut KernelBuilder, i: Var, len: usize, body: impl FnOnce(&
 pub fn stage_chunk_in(
     k: &mut KernelBuilder,
     i: Var,
-    global_base: Expr,
+    global_base: &Expr,
     shared_base: usize,
     len: usize,
 ) {
@@ -50,7 +60,7 @@ pub fn stage_chunk_in(
 pub fn stage_chunk_out(
     k: &mut KernelBuilder,
     i: Var,
-    global_base: Expr,
+    global_base: &Expr,
     shared_base: usize,
     len: usize,
 ) {
@@ -103,8 +113,11 @@ mod tests {
             k.store(Space::Global, v(i), mul(v(i), imm(2)));
         });
         let mut m = Machine::umm(4, 2, 32);
-        m.launch(&Kernel::new("dbl", k.compile().unwrap()), LaunchShape::Even(8))
-            .unwrap();
+        m.launch(
+            &Kernel::new("dbl", k.compile().unwrap()),
+            LaunchShape::Even(8),
+        )
+        .unwrap();
         let expect: Vec<i64> = (0..30).map(|x| x * 2).collect();
         assert_eq!(&m.global()[..30], &expect[..]);
     }
@@ -122,7 +135,7 @@ mod tests {
         let i = k.var();
         let base = k.var();
         k.set(base, mul(dmm(), immu(chunk)));
-        stage_chunk_in(&mut k, i, v(base), 0, chunk);
+        stage_chunk_in(&mut k, i, &v(base), 0, chunk);
         k.bar_dmm();
         shared_tree_reduce(&mut k, 0, chunk);
         k.if_(eq(ltid(), imm(0)), |k| {
@@ -133,8 +146,11 @@ mod tests {
         let p_threads = d * (chunk / 2);
         let mut m = Machine::hmm(d, w, l, n + d, chunk);
         m.load_global(0, &input);
-        m.launch(&Kernel::new("staged-sum", program), LaunchShape::Even(p_threads))
-            .unwrap();
+        m.launch(
+            &Kernel::new("staged-sum", program),
+            LaunchShape::Even(p_threads),
+        )
+        .unwrap();
         for q in 0..d {
             let expect: i64 = input[q * chunk..(q + 1) * chunk].iter().sum();
             assert_eq!(m.global()[n + q], expect, "dmm {q}");
@@ -150,9 +166,9 @@ mod tests {
         let i = k.var();
         let base = k.var();
         k.set(base, mul(dmm(), immu(chunk)));
-        stage_chunk_in(&mut k, i, v(base), 0, chunk);
+        stage_chunk_in(&mut k, i, &v(base), 0, chunk);
         k.bar_dmm();
-        stage_chunk_out(&mut k, i, add(v(base), immu(n)), 0, chunk);
+        stage_chunk_out(&mut k, i, &add(v(base), immu(n)), 0, chunk);
         let mut m = Machine::hmm(d, 4, 4, 2 * n, chunk);
         m.load_global(0, &input);
         m.launch(
@@ -171,8 +187,11 @@ mod tests {
             k.store(Space::Shared, v(i), dmm());
         });
         let mut m = Machine::hmm(2, 4, 2, 8, 8);
-        m.launch(&Kernel::new("loc", k.compile().unwrap()), LaunchShape::Even(8))
-            .unwrap();
+        m.launch(
+            &Kernel::new("loc", k.compile().unwrap()),
+            LaunchShape::Even(8),
+        )
+        .unwrap();
         assert_eq!(&m.shared(0)[..4], &[0, 0, 0, 0]);
         assert_eq!(&m.shared(1)[..4], &[1, 1, 1, 1]);
     }

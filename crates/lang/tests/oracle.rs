@@ -1,12 +1,13 @@
-//! Property test: compiled expressions compute exactly what a host-side
-//! evaluator computes, for random expression trees and thread counts.
+//! Randomised oracle test: compiled expressions compute exactly what a
+//! host-side evaluator computes, for random expression trees and thread
+//! counts, with a seeded generator so every run checks the same trees.
 
 use hmm_core::{Kernel, LaunchShape, Machine};
 use hmm_lang::ast::helpers as h;
 use hmm_lang::{Expr, KernelBuilder, Special};
 use hmm_machine::isa::{BinOp, Space};
 use hmm_machine::Word;
-use proptest::prelude::*;
+use hmm_util::Rng;
 
 /// Host-side evaluation of the pure (load-free) expression subset.
 fn eval_host(e: &Expr, gid: Word, p: Word) -> Word {
@@ -44,55 +45,65 @@ fn eval_host(e: &Expr, gid: Word, p: Word) -> Word {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(Expr::Imm),
-        Just(h::gid()),
-        Just(h::p()),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        let op = prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Min),
-            Just(BinOp::Max),
-            Just(BinOp::And),
-            Just(BinOp::Or),
-            Just(BinOp::Xor),
-            Just(BinOp::Slt),
-            Just(BinOp::Sle),
-            Just(BinOp::Seq),
-            Just(BinOp::Sne),
-        ];
-        prop_oneof![
-            (op, inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Expr::Bin(o, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Expr::Select(Box::new(c), Box::new(a), Box::new(b))),
-        ]
-    })
+const OPS: [BinOp; 12] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Slt,
+    BinOp::Sle,
+    BinOp::Seq,
+    BinOp::Sne,
+];
+
+/// A random load-free expression over `gid`, `p`, and small constants.
+fn random_expr(rng: &mut Rng, depth: usize) -> Expr {
+    // Bias towards leaves as depth runs out.
+    if depth == 0 || rng.usize_below(4) == 0 {
+        return match rng.usize_below(3) {
+            0 => Expr::Imm(rng.int_in(-50, 49)),
+            1 => h::gid(),
+            _ => h::p(),
+        };
+    }
+    if rng.usize_below(4) == 0 {
+        Expr::Select(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        )
+    } else {
+        let op = OPS[rng.usize_below(OPS.len())];
+        Expr::Bin(
+            op,
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        )
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn compiled_expressions_match_the_host(e in expr_strategy(), p in 1usize..16) {
+#[test]
+fn compiled_expressions_match_the_host() {
+    let mut rng = Rng::new(0x0AC1E);
+    for case in 0..64 {
+        let e = random_expr(&mut rng, 5);
+        let p = 1 + rng.usize_below(15);
         let mut k = KernelBuilder::new();
         k.store(Space::Global, h::gid(), e.clone());
-        let program = match k.compile() {
-            Ok(prog) => prog,
-            // Deep random trees may legitimately exceed the temp stack.
-            Err(_) => return Ok(()),
-        };
+        // Deep random trees may legitimately exceed the temp stack.
+        let Ok(program) = k.compile() else { continue };
         let mut m = Machine::umm(4, 1, p.max(4));
-        m.launch(&Kernel::new("oracle", program), LaunchShape::Even(p)).unwrap();
+        m.launch(&Kernel::new("oracle", program), LaunchShape::Even(p))
+            .unwrap();
         for g in 0..p {
-            prop_assert_eq!(
+            assert_eq!(
                 m.global()[g],
                 eval_host(&e, g as Word, p as Word),
-                "gid {}", g
+                "case {case}, gid {g}"
             );
         }
     }

@@ -57,7 +57,13 @@ pub fn render_inst(inst: &Inst) -> String {
             format!("ld    r{}, {}[{} + {}]", d.0, space(sp), op(base), op(off))
         }
         Inst::St(sp, base, off, src) => {
-            format!("st    {}[{} + {}], {}", space(sp), op(base), op(off), op(src))
+            format!(
+                "st    {}[{} + {}], {}",
+                space(sp),
+                op(base),
+                op(off),
+                op(src)
+            )
         }
         Inst::Jmp(t) => format!("jmp   @{t}"),
         Inst::Brz(c, t) => format!("brz   {}, @{t}", op(c)),

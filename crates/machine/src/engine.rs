@@ -34,8 +34,9 @@
 //! `hmm-algorithms::contiguous` for the measured reproduction of Lemma 1
 //! and Theorem 2.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
+use crate::abi;
 use crate::bank::BankedMemory;
 use crate::error::{SimError, SimResult};
 use crate::isa::{Program, Reg, Scope, Space};
@@ -44,7 +45,6 @@ use crate::stats::SimReport;
 use crate::trace::{MemoryId, Trace, TraceEvent};
 use crate::vm::{step, StepEffect, ThreadState};
 use crate::word::Word;
-use crate::abi;
 
 /// Static description of a machine.
 #[derive(Debug, Clone)]
@@ -270,7 +270,7 @@ struct MemRt {
     policy: ConflictPolicy,
     queue: VecDeque<Txn>,
     current: Option<Txn>,
-    /// (resume_time, completions); resume times are non-decreasing.
+    /// (`resume_time`, completions); resume times are non-decreasing.
     completions: VecDeque<(u64, Vec<Completion>)>,
     /// For the non-pipelined ablation: no dispatch before this time.
     busy_until: u64,
@@ -292,10 +292,33 @@ pub struct Engine {
     global: BankedMemory,
     shared: Vec<BankedMemory>,
     trace: Option<Trace>,
+    races: Vec<DynamicRace>,
+}
+
+/// One shared-memory race observed by the debug-build dynamic checker:
+/// two warps of one DMM touched the same address within one barrier
+/// interval, at least one of them writing. Such programs have
+/// schedule-dependent results under the paper's model; the engine logs
+/// them (it never aborts) so `hmm-analysis` predictions can be
+/// corroborated at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicRace {
+    /// The DMM whose shared memory raced.
+    pub dmm: usize,
+    /// The contested address.
+    pub addr: usize,
+    /// Warp id of the earlier access.
+    pub warp_a: usize,
+    /// Warp id of the later, conflicting access.
+    pub warp_b: usize,
 }
 
 /// Re-export of the memory identifier used in traces.
 pub use crate::trace::MemoryId as MemoryKind;
+
+/// Cap on the number of [`DynamicRace`] entries retained per run (the
+/// `shared_races` counter in [`SimReport`] is not capped).
+pub const MAX_LOGGED_RACES: usize = 64;
 
 impl Engine {
     /// Build a machine from its configuration.
@@ -313,6 +336,7 @@ impl Engine {
             global,
             shared,
             trace: None,
+            races: Vec::new(),
         })
     }
 
@@ -350,6 +374,15 @@ impl Engine {
         self.trace.take()
     }
 
+    /// Take the shared-memory races logged by the most recent
+    /// [`Engine::run`]. The dynamic checker only runs in debug builds
+    /// (it is compiled out under `--release`), and it caps the log at
+    /// [`MAX_LOGGED_RACES`] entries; `SimReport::shared_races` counts
+    /// all of them regardless.
+    pub fn take_races(&mut self) -> Vec<DynamicRace> {
+        std::mem::take(&mut self.races)
+    }
+
     /// Simulate one kernel launch to completion.
     ///
     /// # Errors
@@ -378,7 +411,11 @@ impl Engine {
             )));
         }
 
-        let mut trace = if self.cfg.trace { Some(Trace::new()) } else { None };
+        let mut trace = if self.cfg.trace {
+            Some(Trace::new())
+        } else {
+            None
+        };
 
         // ---- build threads and warps ------------------------------------
         let w = self.cfg.width;
@@ -466,6 +503,16 @@ impl Engine {
         let mut alive = p;
         let mut bar_global = 0usize;
         let mut bar_dmm = vec![0usize; self.cfg.dmms];
+        // Debug-build dynamic race checker: for each DMM, the last access
+        // to each shared address within the current barrier interval.
+        // Entries are (interval, warp, saw_a_write); intervals advance on
+        // every barrier release, which is sound because a thread blocks on
+        // its in-flight access before it can reach a barrier.
+        let race_check = cfg!(debug_assertions);
+        let mut race_interval: Vec<u64> = vec![0; self.cfg.dmms];
+        let mut race_last: Vec<HashMap<usize, (u64, usize, bool)>> =
+            vec![HashMap::new(); self.cfg.dmms];
+        let mut races: Vec<DynamicRace> = Vec::new();
         let mut report = SimReport {
             threads: p,
             ..SimReport::default()
@@ -506,11 +553,7 @@ impl Engine {
                 }
             });
             for mem in &mut mems {
-                while mem
-                    .completions
-                    .front()
-                    .is_some_and(|(t, _)| *t <= now)
-                {
+                while mem.completions.front().is_some_and(|(t, _)| *t <= now) {
                     let (_, items) = mem.completions.pop_front().expect("front checked");
                     if let Some(tr) = trace.as_mut() {
                         tr.push(TraceEvent::SlotCompleted {
@@ -617,6 +660,7 @@ impl Engine {
                         });
                     }
                     bar_dmm[d] = 0;
+                    race_interval[d] += 1;
                 }
             }
             if bar_global > 0 && bar_global == alive {
@@ -639,6 +683,9 @@ impl Engine {
                     });
                 }
                 bar_global = 0;
+                for iv in &mut race_interval {
+                    *iv += 1;
+                }
             }
 
             // Phase 4: assemble warp transactions (SIMD lockstep: a warp's
@@ -670,12 +717,11 @@ impl Engine {
                             size,
                         });
                     }
-                    let entry = match groups.iter_mut().find(|(m, _, _)| *m == mi) {
-                        Some(e) => e,
-                        None => {
-                            groups.push((mi, Vec::new(), Vec::new()));
-                            groups.last_mut().expect("just pushed")
-                        }
+                    let entry = if let Some(i) = groups.iter().position(|(m, _, _)| *m == mi) {
+                        &mut groups[i]
+                    } else {
+                        groups.push((mi, Vec::new(), Vec::new()));
+                        groups.last_mut().expect("just pushed")
                     };
                     entry.1.push(Request {
                         thread: tid,
@@ -688,8 +734,7 @@ impl Engine {
                 }
                 warps[wid].posted = 0;
                 for (mi, requests, dsts) in groups {
-                    let schedule =
-                        SlotSchedule::build(&requests, self.cfg.width, mems[mi].policy);
+                    let schedule = SlotSchedule::build(&requests, self.cfg.width, mems[mi].policy);
                     mems[mi].queue.push_back(Txn {
                         warp: wid,
                         requests,
@@ -713,6 +758,34 @@ impl Engine {
                 };
                 let slot_idx = txn.next_slot;
                 let slot: Vec<usize> = txn.schedule.slot(slot_idx).to_vec();
+                if race_check {
+                    if let MemIdx::Shared(d) = mem.idx {
+                        let interval = race_interval[d];
+                        for &ri in &slot {
+                            let req = txn.requests[ri];
+                            let is_write = req.kind == AccessKind::Write;
+                            match race_last[d].get_mut(&req.addr) {
+                                Some(e) if e.0 == interval => {
+                                    if e.1 != txn.warp && (e.2 || is_write) {
+                                        report.shared_races += 1;
+                                        if races.len() < MAX_LOGGED_RACES {
+                                            races.push(DynamicRace {
+                                                dmm: d,
+                                                addr: req.addr,
+                                                warp_a: e.1,
+                                                warp_b: txn.warp,
+                                            });
+                                        }
+                                    }
+                                    e.2 |= is_write;
+                                }
+                                _ => {
+                                    race_last[d].insert(req.addr, (interval, txn.warp, is_write));
+                                }
+                            }
+                        }
+                    }
+                }
                 // Serve the slot: reads observe memory before this slot's
                 // writes; write-write collisions resolve to the last
                 // (highest thread id) writer — "arbitrary" per the paper,
@@ -806,6 +879,7 @@ impl Engine {
 
         report.time = finish_time;
         self.trace = trace;
+        self.races = races;
         Ok(report)
     }
 

@@ -177,6 +177,69 @@ impl Program {
     pub fn insts(&self) -> &[Inst] {
         &self.insts
     }
+
+    /// The explicit branch target of the instruction at `pc`, if it has
+    /// one (`Jmp`, `Brz`, `Brnz`).
+    #[must_use]
+    pub fn branch_target(&self, pc: usize) -> Option<usize> {
+        match self.insts.get(pc)? {
+            Inst::Jmp(t) | Inst::Brz(_, t) | Inst::Brnz(_, t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether the instruction at `pc` ends a basic block: it jumps,
+    /// branches, or halts (so `pc + 1` can only be reached as a leader).
+    #[must_use]
+    pub fn ends_block(&self, pc: usize) -> bool {
+        matches!(
+            self.insts.get(pc),
+            Some(Inst::Jmp(_) | Inst::Brz(..) | Inst::Brnz(..) | Inst::Halt) | None
+        )
+    }
+
+    /// The program counters control can move to after executing `pc`:
+    /// empty for `Halt` (and out-of-range pcs), one pc for straight-line
+    /// code and `Jmp`, two for conditional branches (target first, then
+    /// fall-through; a branch whose target equals the fall-through yields
+    /// one). Successors past the end of the program are included as-is —
+    /// executing them is a runtime error the analyzer reports separately.
+    #[must_use]
+    pub fn successors(&self, pc: usize) -> Vec<usize> {
+        match self.insts.get(pc) {
+            None | Some(Inst::Halt) => Vec::new(),
+            Some(Inst::Jmp(t)) => vec![*t],
+            Some(Inst::Brz(_, t) | Inst::Brnz(_, t)) => {
+                if *t == pc + 1 {
+                    vec![pc + 1]
+                } else {
+                    vec![*t, pc + 1]
+                }
+            }
+            Some(_) => vec![pc + 1],
+        }
+    }
+
+    /// Basic-block leader pcs in ascending order: pc 0, every branch
+    /// target, and every instruction following a block terminator.
+    #[must_use]
+    pub fn leaders(&self) -> Vec<usize> {
+        let mut set = vec![false; self.insts.len()];
+        if !self.insts.is_empty() {
+            set[0] = true;
+        }
+        for pc in 0..self.insts.len() {
+            if let Some(t) = self.branch_target(pc) {
+                if t < set.len() {
+                    set[t] = true;
+                }
+            }
+            if self.ends_block(pc) && pc + 1 < set.len() {
+                set[pc + 1] = true;
+            }
+        }
+        (0..set.len()).filter(|&pc| set[pc]).collect()
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +261,33 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(p.get(1), Some(&Inst::Halt));
         assert_eq!(p.get(2), None);
+    }
+
+    #[test]
+    fn cfg_accessors() {
+        // 0: brz r0 -> 3 ; 1: nop ; 2: jmp 0 ; 3: halt
+        let p = Program::from_insts(vec![
+            Inst::Brz(Operand::Reg(Reg(0)), 3),
+            Inst::Nop,
+            Inst::Jmp(0),
+            Inst::Halt,
+        ]);
+        assert_eq!(p.successors(0), vec![3, 1]);
+        assert_eq!(p.successors(1), vec![2]);
+        assert_eq!(p.successors(2), vec![0]);
+        assert_eq!(p.successors(3), Vec::<usize>::new());
+        assert_eq!(p.successors(4), Vec::<usize>::new());
+        assert_eq!(p.branch_target(0), Some(3));
+        assert_eq!(p.branch_target(1), None);
+        assert!(p.ends_block(0));
+        assert!(!p.ends_block(1));
+        assert!(p.ends_block(3));
+        assert_eq!(p.leaders(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn branch_to_fallthrough_has_one_successor() {
+        let p = Program::from_insts(vec![Inst::Brz(Operand::Imm(0), 1), Inst::Halt]);
+        assert_eq!(p.successors(0), vec![1]);
     }
 }

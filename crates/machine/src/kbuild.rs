@@ -68,7 +68,8 @@ mod tests {
         });
         a.halt();
         let mut eng = Engine::new(EngineConfig::umm(4, 1, 32)).unwrap();
-        eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![])).unwrap();
+        eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![]))
+            .unwrap();
         let expect: Vec<i64> = (0..20).collect();
         assert_eq!(&eng.global().cells()[..20], &expect[..]);
         assert!(eng.global().cells()[20..].iter().all(|&v| v == 0));
@@ -86,7 +87,8 @@ mod tests {
         });
         a.halt();
         let mut eng = Engine::new(EngineConfig::umm(4, 1, 16)).unwrap();
-        eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![])).unwrap();
+        eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![]))
+            .unwrap();
         assert_eq!(&eng.global().cells()[..8], &[2, 1, 2, 1, 2, 1, 2, 1]);
     }
 }

@@ -1,9 +1,9 @@
 //! Simulation statistics and the final report of a kernel launch.
 
-use serde::{Deserialize, Serialize};
+use hmm_util::json::Value;
 
 /// Per-memory counters accumulated during a launch.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryStats {
     /// Warp transactions processed.
     pub transactions: u64,
@@ -41,6 +41,36 @@ impl MemoryStats {
             .max(other.max_slots_per_transaction);
         self.requests += other.requests;
     }
+
+    /// JSON rendering of the counters.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("transactions", self.transactions.into()),
+            ("slots", self.slots.into()),
+            (
+                "conflicted_transactions",
+                self.conflicted_transactions.into(),
+            ),
+            (
+                "max_slots_per_transaction",
+                self.max_slots_per_transaction.into(),
+            ),
+            ("requests", self.requests.into()),
+        ])
+    }
+
+    /// Rebuild from [`MemoryStats::to_json`] output.
+    #[must_use]
+    pub fn from_json(v: &Value) -> Option<Self> {
+        Some(Self {
+            transactions: v["transactions"].as_u64()?,
+            slots: v["slots"].as_u64()?,
+            conflicted_transactions: v["conflicted_transactions"].as_u64()?,
+            max_slots_per_transaction: v["max_slots_per_transaction"].as_u64()?,
+            requests: v["requests"].as_u64()?,
+        })
+    }
 }
 
 /// The result of simulating one kernel launch.
@@ -48,7 +78,7 @@ impl MemoryStats {
 /// `time` is the quantity every theorem of the paper bounds: the number of
 /// time units from launch until the last thread halts and the last memory
 /// request completes.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimReport {
     /// Total simulated time units.
     pub time: u64,
@@ -65,6 +95,9 @@ pub struct SimReport {
     pub barriers: u64,
     /// Number of threads that ran.
     pub threads: usize,
+    /// Shared-memory race pairs observed by the debug-build dynamic race
+    /// checker (always 0 in release builds — the checker is compiled out).
+    pub shared_races: u64,
 }
 
 impl SimReport {
@@ -106,6 +139,50 @@ impl SimReport {
             return 0.0;
         }
         self.global.requests as f64 / self.global.slots as f64
+    }
+
+    /// JSON rendering of the whole report (used by `hmm-cli --json`).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("time", self.time.into()),
+            ("instructions", self.instructions.into()),
+            ("global", self.global.to_json()),
+            ("shared", self.shared.to_json()),
+            (
+                "shared_per_dmm",
+                Value::Array(
+                    self.shared_per_dmm
+                        .iter()
+                        .map(MemoryStats::to_json)
+                        .collect(),
+                ),
+            ),
+            ("barriers", self.barriers.into()),
+            ("threads", self.threads.into()),
+            ("shared_races", self.shared_races.into()),
+        ])
+    }
+
+    /// Rebuild from [`SimReport::to_json`] output.
+    #[must_use]
+    pub fn from_json(v: &Value) -> Option<Self> {
+        let per_dmm: Option<Vec<MemoryStats>> = v["shared_per_dmm"]
+            .as_array()?
+            .iter()
+            .map(MemoryStats::from_json)
+            .collect();
+        Some(Self {
+            time: v["time"].as_u64()?,
+            instructions: v["instructions"].as_u64()?,
+            global: MemoryStats::from_json(&v["global"])?,
+            shared: MemoryStats::from_json(&v["shared"])?,
+            shared_per_dmm: per_dmm?,
+            barriers: v["barriers"].as_u64()?,
+            threads: usize::try_from(v["threads"].as_u64()?).ok()?,
+            // Absent in reports serialised before the race checker existed.
+            shared_races: v["shared_races"].as_u64().unwrap_or(0),
+        })
     }
 }
 
@@ -162,10 +239,11 @@ mod tests {
         let r = SimReport {
             time: 10,
             threads: 4,
+            shared_per_dmm: vec![MemoryStats::default(); 2],
             ..SimReport::default()
         };
-        let s = serde_json::to_string(&r).unwrap();
-        let back: SimReport = serde_json::from_str(&s).unwrap();
+        let s = r.to_json().to_json_pretty();
+        let back = SimReport::from_json(&hmm_util::json::parse(&s).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 }

@@ -95,9 +95,9 @@ impl Trace {
 
     /// Dispatches on a given memory, in order.
     pub fn dispatches(&self, memory: MemoryId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| {
-            matches!(e, TraceEvent::SlotDispatched { memory: m, .. } if *m == memory)
-        })
+        self.events.iter().filter(
+            move |e| matches!(e, TraceEvent::SlotDispatched { memory: m, .. } if *m == memory),
+        )
     }
 }
 

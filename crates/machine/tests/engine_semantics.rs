@@ -2,11 +2,9 @@
 //! Section II–III of the paper.
 
 use hmm_machine::abi;
-use hmm_machine::{
-    Asm, Engine, EngineConfig, LaunchSpec, SimError, TraceEvent,
-};
-use hmm_machine::trace::MemoryId;
 use hmm_machine::isa::{Reg, Space};
+use hmm_machine::trace::MemoryId;
+use hmm_machine::{Asm, Engine, EngineConfig, LaunchSpec, SimError, TraceEvent};
 
 const T0: Reg = Reg(16);
 const T1: Reg = Reg(17);
@@ -86,9 +84,13 @@ fn diagonal_pattern_separates_models() {
         a.finish()
     };
     let mut dmm = Engine::new(EngineConfig::dmm(w, l, 64)).unwrap();
-    let rep_d = dmm.run(&LaunchSpec::even(build("dmm"), w, 1, vec![])).unwrap();
+    let rep_d = dmm
+        .run(&LaunchSpec::even(build("dmm"), w, 1, vec![]))
+        .unwrap();
     let mut umm = Engine::new(EngineConfig::umm(w, l, 64)).unwrap();
-    let rep_u = umm.run(&LaunchSpec::even(build("umm"), w, 1, vec![])).unwrap();
+    let rep_u = umm
+        .run(&LaunchSpec::even(build("umm"), w, 1, vec![]))
+        .unwrap();
     assert_eq!(rep_d.global.slots, 1);
     assert_eq!(rep_u.global.slots, w as u64);
     assert!(rep_u.time > rep_d.time);
@@ -102,7 +104,9 @@ fn concurrent_writes_pick_one_winner() {
     let mut a = Asm::new();
     a.st_global(3, 0, abi::GID);
     a.halt();
-    let rep = eng.run(&LaunchSpec::even(a.finish(), 4, 1, vec![])).unwrap();
+    let rep = eng
+        .run(&LaunchSpec::even(a.finish(), 4, 1, vec![]))
+        .unwrap();
     assert_eq!(rep.global.slots, 1, "same-address writes merge");
     assert_eq!(eng.global().cells()[3], 3);
 }
@@ -117,7 +121,9 @@ fn broadcast_read_merges() {
     a.ld_global(T0, 5, 0);
     a.st_global(abi::GID, 8 / 2, T0); // G[gid+4] = loaded
     a.halt();
-    let rep = eng.run(&LaunchSpec::even(a.finish(), 4, 1, vec![])).unwrap();
+    let rep = eng
+        .run(&LaunchSpec::even(a.finish(), 4, 1, vec![]))
+        .unwrap();
     assert_eq!(rep.global.transactions, 2);
     assert_eq!(rep.global.slots, 2);
     assert_eq!(&eng.global().cells()[4..8], &[99, 99, 99, 99]);
@@ -135,7 +141,9 @@ fn pipelining_hides_latency_across_warps() {
     let mut a = Asm::new();
     a.ld_global(T0, abi::GID, 0);
     a.halt();
-    let rep = eng.run(&LaunchSpec::even(a.finish(), p, 1, vec![])).unwrap();
+    let rep = eng
+        .run(&LaunchSpec::even(a.finish(), p, 1, vec![]))
+        .unwrap();
     assert_eq!(rep.global.slots, (n / w) as u64);
     // All 16 slots dispatch back-to-back; last completes ~ cycle 16+l.
     let t = rep.time;
@@ -147,7 +155,9 @@ fn pipelining_hides_latency_across_warps() {
     let mut a = Asm::new();
     a.ld_global(T0, abi::GID, 0);
     a.halt();
-    let rep2 = eng2.run(&LaunchSpec::even(a.finish(), p, 1, vec![])).unwrap();
+    let rep2 = eng2
+        .run(&LaunchSpec::even(a.finish(), p, 1, vec![]))
+        .unwrap();
     assert!(
         rep2.time >= (n / w * l) as u64,
         "ablation time {} should serialise",
@@ -260,7 +270,9 @@ fn figure4_pipeline_replay() {
     a.sel(T1, T0, T1, Reg(18));
     a.ld_global(Reg(19), T1, 0);
     a.halt();
-    let rep = eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![])).unwrap();
+    let rep = eng
+        .run(&LaunchSpec::even(a.finish(), 8, 1, vec![]))
+        .unwrap();
     assert_eq!(rep.global.slots, 4); // 3 + 1
     let trace = eng.take_trace().unwrap();
     let dispatches: Vec<_> = trace
@@ -274,10 +286,7 @@ fn figure4_pipeline_replay() {
     // Slots dispatch in consecutive cycles: 3 for warp 0 then 1 for warp 1.
     let c0 = dispatches[0].0;
     assert_eq!(
-        dispatches
-            .iter()
-            .map(|&(c, _)| c - c0)
-            .collect::<Vec<_>>(),
+        dispatches.iter().map(|&(c, _)| c - c0).collect::<Vec<_>>(),
         vec![0, 1, 2, 3]
     );
     assert_eq!(
@@ -390,7 +399,8 @@ fn memory_persists_across_launches() {
     a.add(T0, T0, T0);
     a.st_global(abi::GID, 0, T0);
     a.halt();
-    eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![])).unwrap();
+    eng.run(&LaunchSpec::even(a.finish(), 8, 1, vec![]))
+        .unwrap();
     assert_eq!(&eng.global().cells()[..8], &[0, 2, 4, 6, 8, 10, 12, 14]);
 }
 

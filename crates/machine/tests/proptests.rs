@@ -1,105 +1,132 @@
-//! Property-based tests for the machine substrate.
+//! Randomised property tests for the machine substrate, driven by the
+//! workspace's seeded generator so every run checks the same cases.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use hmm_machine::isa::Reg;
 use hmm_machine::request::{slot_count, AccessKind, ConflictPolicy, Request, SlotSchedule};
 use hmm_machine::{abi, bank_of, group_of, Asm, Engine, EngineConfig, LaunchSpec};
-use hmm_machine::isa::Reg;
-use proptest::prelude::*;
+use hmm_util::Rng;
 
-fn requests(max_addr: usize) -> impl Strategy<Value = Vec<Request>> {
-    prop::collection::vec((0..max_addr, prop::bool::ANY), 1..32).prop_map(|v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(t, (addr, write))| Request {
-                thread: t,
-                addr,
-                kind: if write { AccessKind::Write } else { AccessKind::Read },
-                value: t as i64,
-            })
-            .collect()
-    })
+fn random_requests(rng: &mut Rng, max_addr: usize) -> Vec<Request> {
+    let len = 1 + rng.usize_below(31);
+    (0..len)
+        .map(|t| Request {
+            thread: t,
+            addr: rng.usize_below(max_addr),
+            kind: if rng.coin() {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            value: t as i64,
+        })
+        .collect()
 }
 
-proptest! {
-    /// Every request lands in exactly one slot, under every policy.
-    #[test]
-    fn schedule_partitions_requests(reqs in requests(256), w_exp in 0usize..6) {
-        let w = 1 << w_exp;
-        for policy in [ConflictPolicy::Banked, ConflictPolicy::Coalesced, ConflictPolicy::Ideal] {
+/// Every request lands in exactly one slot, under every policy.
+#[test]
+fn schedule_partitions_requests() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..200 {
+        let reqs = random_requests(&mut rng, 256);
+        let w = 1 << rng.usize_below(6);
+        for policy in [
+            ConflictPolicy::Banked,
+            ConflictPolicy::Coalesced,
+            ConflictPolicy::Ideal,
+        ] {
             let s = SlotSchedule::build(&reqs, w, policy);
             let mut seen = vec![false; reqs.len()];
             for slot in s.iter() {
                 for &i in slot {
-                    prop_assert!(!seen[i]);
+                    assert!(!seen[i], "request {i} scheduled twice");
                     seen[i] = true;
                 }
             }
-            prop_assert!(seen.iter().all(|&b| b));
+            assert!(seen.iter().all(|&b| b), "request missing from schedule");
         }
     }
+}
 
-    /// The Banked slot count equals the analytic definition: the maximum
-    /// over banks of the number of distinct addresses destined for it.
-    #[test]
-    fn banked_slot_count_matches_definition(reqs in requests(128), w_exp in 0usize..5) {
-        let w = 1 << w_exp;
-        let mut per_bank: std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> =
-            std::collections::BTreeMap::new();
+/// The Banked slot count equals the analytic definition: the maximum
+/// over banks of the number of distinct addresses destined for it.
+#[test]
+fn banked_slot_count_matches_definition() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..200 {
+        let reqs = random_requests(&mut rng, 128);
+        let w = 1 << rng.usize_below(5);
+        let mut per_bank: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
         for r in &reqs {
-            per_bank.entry(bank_of(r.addr, w)).or_default().insert(r.addr);
+            per_bank
+                .entry(bank_of(r.addr, w))
+                .or_default()
+                .insert(r.addr);
         }
-        let expect = per_bank.values().map(std::collections::BTreeSet::len).max().unwrap_or(0);
-        prop_assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), expect);
+        let expect = per_bank.values().map(BTreeSet::len).max().unwrap_or(0);
+        assert_eq!(slot_count(&reqs, w, ConflictPolicy::Banked), expect);
     }
+}
 
-    /// The Coalesced slot count equals the number of distinct groups.
-    #[test]
-    fn coalesced_slot_count_matches_definition(reqs in requests(128), w_exp in 0usize..5) {
-        let w = 1 << w_exp;
-        let groups: std::collections::BTreeSet<usize> =
-            reqs.iter().map(|r| group_of(r.addr, w)).collect();
-        prop_assert_eq!(slot_count(&reqs, w, ConflictPolicy::Coalesced), groups.len());
+/// The Coalesced slot count equals the number of distinct groups.
+#[test]
+fn coalesced_slot_count_matches_definition() {
+    let mut rng = Rng::new(0xC0A1);
+    for _ in 0..200 {
+        let reqs = random_requests(&mut rng, 128);
+        let w = 1 << rng.usize_below(5);
+        let groups: BTreeSet<usize> = reqs.iter().map(|r| group_of(r.addr, w)).collect();
+        assert_eq!(
+            slot_count(&reqs, w, ConflictPolicy::Coalesced),
+            groups.len()
+        );
     }
+}
 
-    /// Within each Banked slot, addresses are bank-distinct; within each
-    /// Coalesced slot, they share or split into groups never repeated in
-    /// other slots.
-    #[test]
-    fn slots_respect_their_conflict_rule(reqs in requests(128), w_exp in 1usize..5) {
-        let w = 1 << w_exp;
+/// Within each Banked slot, addresses are bank-distinct; within each
+/// Coalesced slot, they share one group never repeated in other slots.
+#[test]
+fn slots_respect_their_conflict_rule() {
+    let mut rng = Rng::new(0x51075);
+    for _ in 0..200 {
+        let reqs = random_requests(&mut rng, 128);
+        let w = 1 << (1 + rng.usize_below(4));
         let s = SlotSchedule::build(&reqs, w, ConflictPolicy::Banked);
         for slot in s.iter() {
-            let mut banks = std::collections::BTreeMap::new();
+            let mut banks = BTreeMap::new();
             for &i in slot {
                 let b = bank_of(reqs[i].addr, w);
                 // Same bank twice in a slot only if the address merged.
                 if let Some(prev) = banks.insert(b, reqs[i].addr) {
-                    prop_assert_eq!(prev, reqs[i].addr);
+                    assert_eq!(prev, reqs[i].addr);
                 }
             }
         }
         let s = SlotSchedule::build(&reqs, w, ConflictPolicy::Coalesced);
-        let mut seen_groups = std::collections::BTreeSet::new();
+        let mut seen_groups = BTreeSet::new();
         for slot in s.iter() {
-            let groups: std::collections::BTreeSet<usize> =
-                slot.iter().map(|&i| group_of(reqs[i].addr, w)).collect();
-            prop_assert_eq!(groups.len(), 1, "one group per coalesced slot");
+            let groups: BTreeSet<usize> = slot.iter().map(|&i| group_of(reqs[i].addr, w)).collect();
+            assert_eq!(groups.len(), 1, "one group per coalesced slot");
             let g = *groups.iter().next().unwrap();
-            prop_assert!(seen_groups.insert(g), "group appears in one slot only");
+            assert!(seen_groups.insert(g), "group appears in one slot only");
         }
     }
+}
 
-    /// Engine determinism and correctness: an affine kernel
-    /// `G[gid] = a·gid + b` computes exactly that for every thread, and
-    /// two identical launches give identical reports.
-    #[test]
-    fn engine_affine_kernel_is_deterministic(
-        a_coef in -100i64..100,
-        b_coef in -100i64..100,
-        p in 1usize..64,
-        w_exp in 0usize..4,
-        l in 1usize..20,
-    ) {
-        let w = 1 << w_exp;
+/// Engine determinism and correctness: an affine kernel
+/// `G[gid] = a·gid + b` computes exactly that for every thread, and
+/// two identical launches give identical reports.
+#[test]
+fn engine_affine_kernel_is_deterministic() {
+    let mut rng = Rng::new(0xDE7);
+    for _ in 0..48 {
+        let a_coef = rng.int_in(-100, 99);
+        let b_coef = rng.int_in(-100, 99);
+        let p = 1 + rng.usize_below(63);
+        let w = 1 << rng.usize_below(4);
+        let l = 1 + rng.usize_below(19);
+
         let t = Reg(16);
         let mut asm = Asm::new();
         asm.mul(t, abi::GID, a_coef);
@@ -113,25 +140,26 @@ proptest! {
         let r1 = e1.run(&spec).unwrap();
         let mut e2 = Engine::new(EngineConfig::umm(w, l, 64 + p)).unwrap();
         let r2 = e2.run(&spec).unwrap();
-        prop_assert_eq!(&r1, &r2);
-        prop_assert_eq!(e1.global().cells(), e2.global().cells());
+        assert_eq!(r1, r2);
+        assert_eq!(e1.global().cells(), e2.global().cells());
         for gid in 0..p {
-            prop_assert_eq!(
+            assert_eq!(
                 e1.global().cells()[64 + gid],
                 a_coef.wrapping_mul(gid as i64).wrapping_add(b_coef)
             );
         }
     }
+}
 
-    /// Timing sanity on random parameters: contiguous stores of p cells
-    /// (one per thread) finish within the Lemma 1 envelope.
-    #[test]
-    fn single_round_contiguous_time_envelope(
-        p_warps in 1usize..16,
-        w_exp in 1usize..5,
-        l in 1usize..64,
-    ) {
-        let w = 1 << w_exp;
+/// Timing sanity on random parameters: contiguous stores of p cells
+/// (one per thread) finish within the Lemma 1 envelope.
+#[test]
+fn single_round_contiguous_time_envelope() {
+    let mut rng = Rng::new(0x71E);
+    for _ in 0..100 {
+        let p_warps = 1 + rng.usize_below(15);
+        let w = 1 << (1 + rng.usize_below(4));
+        let l = 1 + rng.usize_below(63);
         let p = p_warps * w;
         let mut asm = Asm::new();
         asm.st_global(abi::GID, 0, 1);
@@ -141,9 +169,13 @@ proptest! {
         let r = e.run(&spec).unwrap();
         // Exactly p/w slots; the batch spans p/w + l - 1 units, plus the
         // store-issue unit and the halt unit.
-        prop_assert_eq!(r.global.slots, (p / w) as u64);
+        assert_eq!(r.global.slots, (p / w) as u64);
         let expect = (p / w + l - 1) as u64 + 1;
-        prop_assert!(r.time >= expect && r.time <= expect + 1,
-            "time {} vs expected {}", r.time, expect);
+        assert!(
+            r.time >= expect && r.time <= expect + 1,
+            "time {} vs expected {}",
+            r.time,
+            expect
+        );
     }
 }

@@ -178,8 +178,8 @@ impl Pram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hmm_machine::{abi, Asm};
     use hmm_machine::isa::Reg;
+    use hmm_machine::{abi, Asm};
 
     const T0: Reg = Reg(16);
 

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn perfect_shape_has_unit_spread() {
-        let pairs: Vec<_> = (1..10).map(|i| (3.0 * i as f64, i as f64)).collect();
+        let pairs: Vec<_> = (1..10)
+            .map(|i| (3.0 * f64::from(i), f64::from(i)))
+            .collect();
         let f = fit(&pairs);
         assert!((f.spread - 1.0).abs() < 1e-12);
         assert!((f.constant - 3.0).abs() < 1e-9);
@@ -86,9 +88,7 @@ mod tests {
     #[test]
     fn wrong_shape_grows_the_spread() {
         // measured ~ x^2 but predicted ~ x.
-        let pairs: Vec<_> = (1..20)
-            .map(|i| ((i * i) as f64, i as f64))
-            .collect();
+        let pairs: Vec<_> = (1..20).map(|i| (f64::from(i * i), f64::from(i))).collect();
         let f = fit(&pairs);
         assert!(f.spread > 10.0);
         assert!(!f.matches_within(4.0));

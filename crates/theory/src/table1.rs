@@ -78,9 +78,7 @@ pub fn conv_dmm_umm(pr: Params) -> f64 {
 #[must_use]
 pub fn conv_hmm(pr: Params) -> f64 {
     let Params { n, k, p, w, l, d } = pr;
-    let (nf, kf, pf, wf, lf, df) = (
-        n as f64, k as f64, p as f64, w as f64, l as f64, d as f64,
-    );
+    let (nf, kf, pf, wf, lf, df) = (n as f64, k as f64, p as f64, w as f64, l as f64, d as f64);
     let staged = nf + df * kf;
     staged / wf + nf * kf / (df * wf) + staged * lf / pf + lf + lg(k)
 }
@@ -134,7 +132,7 @@ mod tests {
         let lat = contiguous(1 << 12, 32, 32, 400);
         let bw = contiguous(1 << 12, 1 << 14, 32, 400);
         assert!(lat > 8.0 * bw);
-        assert!(bw >= (1 << 12) as f64 / 32.0);
+        assert!(bw >= f64::from(1 << 12) / 32.0);
     }
 
     #[test]

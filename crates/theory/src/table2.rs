@@ -122,9 +122,7 @@ pub fn conv_dmm_umm(pr: Params) -> LowerBound {
 #[must_use]
 pub fn conv_hmm(pr: Params) -> LowerBound {
     let Params { n, k, p, w, l, d } = pr;
-    let (nf, kf, pf, wf, lf, df) = (
-        n as f64, k as f64, p as f64, w as f64, l as f64, d as f64,
-    );
+    let (nf, kf, pf, wf, lf, df) = (n as f64, k as f64, p as f64, w as f64, l as f64, d as f64);
     LowerBound {
         speedup: Some(nf * kf / (df * wf)),
         bandwidth: Some(nf / wf),

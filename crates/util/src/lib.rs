@@ -1,0 +1,20 @@
+//! # hmm-util — dependency-free workspace support
+//!
+//! The simulation workspace is built offline, so everything the crates
+//! would normally pull from crates.io lives here instead:
+//!
+//! - [`json`]: a small JSON document model with a printer and a strict
+//!   parser, used by the CLI's `--json` output and the experiment dumps.
+//! - [`rng`]: a seeded `SplitMix64` generator for deterministic workload
+//!   inputs and randomised tests.
+//! - [`bench`]: a minimal wall-clock timing harness for the `hmm-bench`
+//!   bench targets.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod rng;
+
+pub use json::{JsonError, Value};
+pub use rng::Rng;

@@ -1,16 +1,15 @@
 //! Deterministic input generators.
 
 use hmm_machine::Word;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hmm_util::Rng;
 
 /// `n` uniformly random words in `[-bound, bound]`, seeded.
 ///
 /// Bounded magnitudes keep convolution products exactly representable.
 #[must_use]
 pub fn random_words(n: usize, seed: u64, bound: Word) -> Vec<Word> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-bound..=bound)).collect()
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.int_in(-bound, bound)).collect()
 }
 
 /// The ramp `0, 1, 2, ..., n-1` — handy because its sum has a closed form.

@@ -36,7 +36,11 @@ fn main() {
     println!("Figure 3: banks and address groups for w = {w}");
     println!("  addr : bank / group");
     for addr in 0..16 {
-        print!("  {addr:>4} :  B{}  /  A{}", bank_of(addr, w), group_of(addr, w));
+        print!(
+            "  {addr:>4} :  B{}  /  A{}",
+            bank_of(addr, w),
+            group_of(addr, w)
+        );
         println!();
     }
     println!();
@@ -48,7 +52,10 @@ fn main() {
     ];
 
     println!("one warp of {w} threads, latency {l}:");
-    println!("{:<28} {:>10} {:>10} {:>12} {:>12}", "pattern", "DMM time", "UMM time", "DMM slots", "UMM slots");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "pattern", "DMM time", "UMM time", "DMM slots", "UMM slots"
+    );
     for &(name, mul, add_tid) in patterns {
         let kernel = pattern_kernel(mul, add_tid);
         let mut dmm = Machine::dmm(w, l, 64);

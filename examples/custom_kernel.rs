@@ -53,7 +53,10 @@ fn main() {
     let mut m = Machine::umm(w, l, n);
     m.load_global(0, &input);
     let report = m
-        .launch(&Kernel::new("sum-lang", program), LaunchShape::Even(p_threads))
+        .launch(
+            &Kernel::new("sum-lang", program),
+            LaunchShape::Even(p_threads),
+        )
         .unwrap();
     let lang_sum = m.global()[0];
     assert_eq!(lang_sum, expect);

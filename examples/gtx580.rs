@@ -37,9 +37,18 @@ fn main() {
     assert_eq!(lemma5.value, theorem7.value);
     assert_eq!(lemma6.value, theorem7.value);
     println!("sum of n = {n} random words, p = {p} threads:");
-    println!("  UMM only      (Lemma 5)  : {:>8} time units", lemma5.report.time);
-    println!("  HMM, one DMM  (Lemma 6)  : {:>8} time units", lemma6.report.time);
-    println!("  HMM, all DMMs (Thm 7)    : {:>8} time units", theorem7.report.time);
+    println!(
+        "  UMM only      (Lemma 5)  : {:>8} time units",
+        lemma5.report.time
+    );
+    println!(
+        "  HMM, one DMM  (Lemma 6)  : {:>8} time units",
+        lemma6.report.time
+    );
+    println!(
+        "  HMM, all DMMs (Thm 7)    : {:>8} time units",
+        theorem7.report.time
+    );
     println!(
         "  all-DMM speed-up over single memory: {:.1}x\n",
         lemma5.report.time as f64 / theorem7.report.time as f64
@@ -62,8 +71,14 @@ fn main() {
 
     assert_eq!(theorem8.value, theorem9.value);
     println!("direct convolution, n = {n}, k = {k}, p = {p} threads:");
-    println!("  UMM only (Thm 8)         : {:>8} time units", theorem8.report.time);
-    println!("  HMM      (Thm 9)         : {:>8} time units", theorem9.report.time);
+    println!(
+        "  UMM only (Thm 8)         : {:>8} time units",
+        theorem8.report.time
+    );
+    println!(
+        "  HMM      (Thm 9)         : {:>8} time units",
+        theorem9.report.time
+    );
     println!(
         "  HMM speed-up: {:.1}x (theory predicts up to d = {d}x on the compute term)",
         theorem8.report.time as f64 / theorem9.report.time as f64

@@ -42,7 +42,14 @@ fn main() {
     println!(
         "  measured {} time units  |  predicted Θ-shape {:.0}  |  instructions {}",
         run.report.time,
-        table1::sum_hmm(Params { n, k: 1, p, w, l, d }),
+        table1::sum_hmm(Params {
+            n,
+            k: 1,
+            p,
+            w,
+            l,
+            d
+        }),
         run.report.instructions
     );
     println!(

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contiguous-052635fdb1189a4d.d: crates/bench/benches/contiguous.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontiguous-052635fdb1189a4d.rmeta: crates/bench/benches/contiguous.rs Cargo.toml
+
+crates/bench/benches/contiguous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

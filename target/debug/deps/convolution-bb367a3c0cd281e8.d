@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convolution-bb367a3c0cd281e8.d: crates/bench/benches/convolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvolution-bb367a3c0cd281e8.rmeta: crates/bench/benches/convolution.rs Cargo.toml
+
+crates/bench/benches/convolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

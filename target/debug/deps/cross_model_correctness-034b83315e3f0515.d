@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_model_correctness-034b83315e3f0515.d: tests/cross_model_correctness.rs
+
+/root/repo/target/debug/deps/cross_model_correctness-034b83315e3f0515: tests/cross_model_correctness.rs
+
+tests/cross_model_correctness.rs:

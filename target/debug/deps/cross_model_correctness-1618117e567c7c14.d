@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_model_correctness-1618117e567c7c14.d: tests/cross_model_correctness.rs
+
+/root/repo/target/debug/deps/cross_model_correctness-1618117e567c7c14: tests/cross_model_correctness.rs
+
+tests/cross_model_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_model_correctness-ae3282d2cc2ba692.d: tests/cross_model_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_model_correctness-ae3282d2cc2ba692.rmeta: tests/cross_model_correctness.rs Cargo.toml
+
+tests/cross_model_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_semantics-39c7d2963b7a8cf9.d: crates/machine/tests/engine_semantics.rs
+
+/root/repo/target/debug/deps/engine_semantics-39c7d2963b7a8cf9: crates/machine/tests/engine_semantics.rs
+
+crates/machine/tests/engine_semantics.rs:

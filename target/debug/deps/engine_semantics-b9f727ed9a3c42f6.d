@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_semantics-b9f727ed9a3c42f6.d: crates/machine/tests/engine_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_semantics-b9f727ed9a3c42f6.rmeta: crates/machine/tests/engine_semantics.rs Cargo.toml
+
+crates/machine/tests/engine_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

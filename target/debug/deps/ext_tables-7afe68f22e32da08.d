@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_tables-7afe68f22e32da08.d: crates/bench/src/bin/ext_tables.rs
+
+/root/repo/target/debug/deps/ext_tables-7afe68f22e32da08: crates/bench/src/bin/ext_tables.rs
+
+crates/bench/src/bin/ext_tables.rs:

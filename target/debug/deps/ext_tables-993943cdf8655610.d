@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tables-993943cdf8655610.d: crates/bench/src/bin/ext_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tables-993943cdf8655610.rmeta: crates/bench/src/bin/ext_tables.rs Cargo.toml
+
+crates/bench/src/bin/ext_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

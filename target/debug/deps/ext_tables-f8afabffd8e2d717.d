@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_tables-f8afabffd8e2d717.d: crates/bench/src/bin/ext_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_tables-f8afabffd8e2d717.rmeta: crates/bench/src/bin/ext_tables.rs Cargo.toml
+
+crates/bench/src/bin/ext_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_shapes-775cd6a6d9ac0423.d: tests/extension_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_shapes-775cd6a6d9ac0423.rmeta: tests/extension_shapes.rs Cargo.toml
+
+tests/extension_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_shapes-7d6950bfef0547ed.d: tests/extension_shapes.rs
+
+/root/repo/target/debug/deps/extension_shapes-7d6950bfef0547ed: tests/extension_shapes.rs
+
+tests/extension_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_shapes-ad57f0bc63897355.d: tests/extension_shapes.rs
+
+/root/repo/target/debug/deps/extension_shapes-ad57f0bc63897355: tests/extension_shapes.rs
+
+tests/extension_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-24b2d7a49ef943e3.d: crates/bench/benches/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-24b2d7a49ef943e3.rmeta: crates/bench/benches/extensions.rs Cargo.toml
+
+crates/bench/benches/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-4d136946ccf0bd31.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-4d136946ccf0bd31.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

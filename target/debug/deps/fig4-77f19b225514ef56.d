@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-77f19b225514ef56.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-77f19b225514ef56: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

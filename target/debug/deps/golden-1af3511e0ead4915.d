@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-1af3511e0ead4915.d: crates/analysis/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-1af3511e0ead4915: crates/analysis/tests/golden.rs
+
+crates/analysis/tests/golden.rs:

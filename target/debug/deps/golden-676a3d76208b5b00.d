@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-676a3d76208b5b00.d: crates/analysis/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-676a3d76208b5b00.rmeta: crates/analysis/tests/golden.rs Cargo.toml
+
+crates/analysis/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/hmm_algorithms-bde3cb56dc9f3725.d: crates/algorithms/src/lib.rs crates/algorithms/src/contiguous.rs crates/algorithms/src/convolution/mod.rs crates/algorithms/src/convolution/dmm_umm.rs crates/algorithms/src/convolution/hmm.rs crates/algorithms/src/matmul.rs crates/algorithms/src/patterns.rs crates/algorithms/src/permutation.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reference.rs crates/algorithms/src/sort.rs crates/algorithms/src/string_match.rs crates/algorithms/src/sum/mod.rs crates/algorithms/src/sum/auto.rs crates/algorithms/src/sum/dmm_umm.rs crates/algorithms/src/sum/hmm_all.rs crates/algorithms/src/sum/hmm_single.rs
+
+/root/repo/target/debug/deps/libhmm_algorithms-bde3cb56dc9f3725.rlib: crates/algorithms/src/lib.rs crates/algorithms/src/contiguous.rs crates/algorithms/src/convolution/mod.rs crates/algorithms/src/convolution/dmm_umm.rs crates/algorithms/src/convolution/hmm.rs crates/algorithms/src/matmul.rs crates/algorithms/src/patterns.rs crates/algorithms/src/permutation.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reference.rs crates/algorithms/src/sort.rs crates/algorithms/src/string_match.rs crates/algorithms/src/sum/mod.rs crates/algorithms/src/sum/auto.rs crates/algorithms/src/sum/dmm_umm.rs crates/algorithms/src/sum/hmm_all.rs crates/algorithms/src/sum/hmm_single.rs
+
+/root/repo/target/debug/deps/libhmm_algorithms-bde3cb56dc9f3725.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/contiguous.rs crates/algorithms/src/convolution/mod.rs crates/algorithms/src/convolution/dmm_umm.rs crates/algorithms/src/convolution/hmm.rs crates/algorithms/src/matmul.rs crates/algorithms/src/patterns.rs crates/algorithms/src/permutation.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reference.rs crates/algorithms/src/sort.rs crates/algorithms/src/string_match.rs crates/algorithms/src/sum/mod.rs crates/algorithms/src/sum/auto.rs crates/algorithms/src/sum/dmm_umm.rs crates/algorithms/src/sum/hmm_all.rs crates/algorithms/src/sum/hmm_single.rs
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/contiguous.rs:
+crates/algorithms/src/convolution/mod.rs:
+crates/algorithms/src/convolution/dmm_umm.rs:
+crates/algorithms/src/convolution/hmm.rs:
+crates/algorithms/src/matmul.rs:
+crates/algorithms/src/patterns.rs:
+crates/algorithms/src/permutation.rs:
+crates/algorithms/src/prefix.rs:
+crates/algorithms/src/reduce.rs:
+crates/algorithms/src/reference.rs:
+crates/algorithms/src/sort.rs:
+crates/algorithms/src/string_match.rs:
+crates/algorithms/src/sum/mod.rs:
+crates/algorithms/src/sum/auto.rs:
+crates/algorithms/src/sum/dmm_umm.rs:
+crates/algorithms/src/sum/hmm_all.rs:
+crates/algorithms/src/sum/hmm_single.rs:

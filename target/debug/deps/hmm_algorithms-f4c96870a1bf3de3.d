@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/hmm_algorithms-f4c96870a1bf3de3.d: crates/algorithms/src/lib.rs crates/algorithms/src/contiguous.rs crates/algorithms/src/convolution/mod.rs crates/algorithms/src/convolution/dmm_umm.rs crates/algorithms/src/convolution/hmm.rs crates/algorithms/src/matmul.rs crates/algorithms/src/patterns.rs crates/algorithms/src/permutation.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reference.rs crates/algorithms/src/sort.rs crates/algorithms/src/string_match.rs crates/algorithms/src/sum/mod.rs crates/algorithms/src/sum/auto.rs crates/algorithms/src/sum/dmm_umm.rs crates/algorithms/src/sum/hmm_all.rs crates/algorithms/src/sum/hmm_single.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_algorithms-f4c96870a1bf3de3.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/contiguous.rs crates/algorithms/src/convolution/mod.rs crates/algorithms/src/convolution/dmm_umm.rs crates/algorithms/src/convolution/hmm.rs crates/algorithms/src/matmul.rs crates/algorithms/src/patterns.rs crates/algorithms/src/permutation.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reference.rs crates/algorithms/src/sort.rs crates/algorithms/src/string_match.rs crates/algorithms/src/sum/mod.rs crates/algorithms/src/sum/auto.rs crates/algorithms/src/sum/dmm_umm.rs crates/algorithms/src/sum/hmm_all.rs crates/algorithms/src/sum/hmm_single.rs Cargo.toml
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/contiguous.rs:
+crates/algorithms/src/convolution/mod.rs:
+crates/algorithms/src/convolution/dmm_umm.rs:
+crates/algorithms/src/convolution/hmm.rs:
+crates/algorithms/src/matmul.rs:
+crates/algorithms/src/patterns.rs:
+crates/algorithms/src/permutation.rs:
+crates/algorithms/src/prefix.rs:
+crates/algorithms/src/reduce.rs:
+crates/algorithms/src/reference.rs:
+crates/algorithms/src/sort.rs:
+crates/algorithms/src/string_match.rs:
+crates/algorithms/src/sum/mod.rs:
+crates/algorithms/src/sum/auto.rs:
+crates/algorithms/src/sum/dmm_umm.rs:
+crates/algorithms/src/sum/hmm_all.rs:
+crates/algorithms/src/sum/hmm_single.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

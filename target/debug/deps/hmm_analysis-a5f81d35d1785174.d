@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hmm_analysis-a5f81d35d1785174.d: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_analysis-a5f81d35d1785174.rmeta: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/affine.rs:
+crates/analysis/src/barrier.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/conflict.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/examples.rs:
+crates/analysis/src/interp.rs:
+crates/analysis/src/race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

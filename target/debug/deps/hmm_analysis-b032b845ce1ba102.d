@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hmm_analysis-b032b845ce1ba102.d: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs
+
+/root/repo/target/debug/deps/hmm_analysis-b032b845ce1ba102: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/affine.rs:
+crates/analysis/src/barrier.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/conflict.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/examples.rs:
+crates/analysis/src/interp.rs:
+crates/analysis/src/race.rs:

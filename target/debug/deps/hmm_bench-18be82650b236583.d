@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmm_bench-18be82650b236583.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_bench-18be82650b236583.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

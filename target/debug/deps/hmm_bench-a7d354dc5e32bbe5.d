@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_bench-a7d354dc5e32bbe5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hmm_bench-a7d354dc5e32bbe5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmm_bench-c8d622354e96ae89.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_bench-c8d622354e96ae89.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

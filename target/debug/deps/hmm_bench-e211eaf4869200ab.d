@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_bench-e211eaf4869200ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhmm_bench-e211eaf4869200ab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhmm_bench-e211eaf4869200ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_cli-2659066ba4b510fd.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+/root/repo/target/debug/deps/hmm_cli-2659066ba4b510fd: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/run.rs:

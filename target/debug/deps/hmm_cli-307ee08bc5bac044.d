@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmm_cli-307ee08bc5bac044.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hmm_cli-307ee08bc5bac044: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

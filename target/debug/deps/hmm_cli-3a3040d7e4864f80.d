@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmm_cli-3a3040d7e4864f80.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_cli-3a3040d7e4864f80.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/lint.rs:
+crates/cli/src/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmm_cli-5e129dde7c6e8647.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hmm_cli-5e129dde7c6e8647: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmm_cli-5eb1ea901343adb9.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+/root/repo/target/debug/deps/libhmm_cli-5eb1ea901343adb9.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+/root/repo/target/debug/deps/libhmm_cli-5eb1ea901343adb9.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/lint.rs:
+crates/cli/src/run.rs:

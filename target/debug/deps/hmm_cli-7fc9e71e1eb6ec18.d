@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_cli-7fc9e71e1eb6ec18.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_cli-7fc9e71e1eb6ec18.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

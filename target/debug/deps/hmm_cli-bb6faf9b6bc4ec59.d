@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_cli-bb6faf9b6bc4ec59.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_cli-bb6faf9b6bc4ec59.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

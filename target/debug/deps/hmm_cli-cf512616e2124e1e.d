@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmm_cli-cf512616e2124e1e.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_cli-cf512616e2124e1e.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/lint.rs:
+crates/cli/src/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_cli-d298cca3f34543f7.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+/root/repo/target/debug/deps/libhmm_cli-d298cca3f34543f7.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+/root/repo/target/debug/deps/libhmm_cli-d298cca3f34543f7.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmm_cli-da97afead68e9d02.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hmm_cli-da97afead68e9d02: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

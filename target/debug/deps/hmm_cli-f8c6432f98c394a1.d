@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmm_cli-f8c6432f98c394a1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+/root/repo/target/debug/deps/hmm_cli-f8c6432f98c394a1: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/lint.rs:
+crates/cli/src/run.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_core-075a75b6771ce947.d: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_core-075a75b6771ce947.rmeta: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/machine.rs:
+crates/core/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_core-48d40deed751e508.d: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/libhmm_core-48d40deed751e508.rlib: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/libhmm_core-48d40deed751e508.rmeta: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/machine.rs:
+crates/core/src/presets.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_core-a22e1ba52e8b041e.d: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_core-a22e1ba52e8b041e.rmeta: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/machine.rs:
+crates/core/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_core-e4979b490a2a9311.d: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/hmm_core-e4979b490a2a9311: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/machine.rs:
+crates/core/src/presets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_gpu-1a5bd1de301180f0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhmm_gpu-1a5bd1de301180f0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhmm_gpu-1a5bd1de301180f0.rmeta: src/lib.rs
+
+src/lib.rs:

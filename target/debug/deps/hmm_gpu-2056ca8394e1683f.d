@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_gpu-2056ca8394e1683f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_gpu-2056ca8394e1683f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmm_gpu-24d48f3555faf655.d: src/lib.rs
+
+/root/repo/target/debug/deps/hmm_gpu-24d48f3555faf655: src/lib.rs
+
+src/lib.rs:

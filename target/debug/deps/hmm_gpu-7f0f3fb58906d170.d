@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_gpu-7f0f3fb58906d170.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_gpu-7f0f3fb58906d170.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmm_gpu-e029fecfd16c8b67.d: src/lib.rs
+
+/root/repo/target/debug/deps/hmm_gpu-e029fecfd16c8b67: src/lib.rs
+
+src/lib.rs:

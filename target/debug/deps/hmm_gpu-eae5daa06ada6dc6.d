@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_gpu-eae5daa06ada6dc6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhmm_gpu-eae5daa06ada6dc6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhmm_gpu-eae5daa06ada6dc6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_lang-2acbfaa299b15a73.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/libhmm_lang-2acbfaa299b15a73.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/libhmm_lang-2acbfaa299b15a73.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/patterns.rs:
+crates/lang/src/pretty.rs:

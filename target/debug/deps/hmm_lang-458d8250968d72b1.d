@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hmm_lang-458d8250968d72b1.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_lang-458d8250968d72b1.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/patterns.rs:
+crates/lang/src/pretty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

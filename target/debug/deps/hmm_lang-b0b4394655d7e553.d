@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_lang-b0b4394655d7e553.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/hmm_lang-b0b4394655d7e553: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/patterns.rs:
+crates/lang/src/pretty.rs:

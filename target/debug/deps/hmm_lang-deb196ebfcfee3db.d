@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_lang-deb196ebfcfee3db.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/libhmm_lang-deb196ebfcfee3db.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/libhmm_lang-deb196ebfcfee3db.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/patterns.rs:
+crates/lang/src/pretty.rs:

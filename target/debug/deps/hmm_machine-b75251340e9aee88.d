@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hmm_machine-b75251340e9aee88.d: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs
+
+/root/repo/target/debug/deps/libhmm_machine-b75251340e9aee88.rlib: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs
+
+/root/repo/target/debug/deps/libhmm_machine-b75251340e9aee88.rmeta: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/asm.rs:
+crates/machine/src/bank.rs:
+crates/machine/src/disasm.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/error.rs:
+crates/machine/src/isa.rs:
+crates/machine/src/kbuild.rs:
+crates/machine/src/request.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/vm.rs:
+crates/machine/src/word.rs:

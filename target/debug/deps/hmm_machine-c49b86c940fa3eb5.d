@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hmm_machine-c49b86c940fa3eb5.d: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_machine-c49b86c940fa3eb5.rmeta: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/asm.rs:
+crates/machine/src/bank.rs:
+crates/machine/src/disasm.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/error.rs:
+crates/machine/src/isa.rs:
+crates/machine/src/kbuild.rs:
+crates/machine/src/request.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/vm.rs:
+crates/machine/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_pram-44aefc5da2ae018e.d: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_pram-44aefc5da2ae018e.rmeta: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs Cargo.toml
+
+crates/pram/src/lib.rs:
+crates/pram/src/algorithms.rs:
+crates/pram/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_pram-69ce39276dcd398f.d: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+/root/repo/target/debug/deps/libhmm_pram-69ce39276dcd398f.rlib: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+/root/repo/target/debug/deps/libhmm_pram-69ce39276dcd398f.rmeta: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/algorithms.rs:
+crates/pram/src/engine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_pram-70337978c2c3723a.d: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+/root/repo/target/debug/deps/hmm_pram-70337978c2c3723a: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/algorithms.rs:
+crates/pram/src/engine.rs:

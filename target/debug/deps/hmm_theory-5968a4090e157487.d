@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hmm_theory-5968a4090e157487.d: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_theory-5968a4090e157487.rmeta: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs Cargo.toml
+
+crates/theory/src/lib.rs:
+crates/theory/src/envelope.rs:
+crates/theory/src/regimes.rs:
+crates/theory/src/table1.rs:
+crates/theory/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_theory-e684e3b7bd62d32f.d: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+/root/repo/target/debug/deps/hmm_theory-e684e3b7bd62d32f: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+crates/theory/src/lib.rs:
+crates/theory/src/envelope.rs:
+crates/theory/src/regimes.rs:
+crates/theory/src/table1.rs:
+crates/theory/src/table2.rs:

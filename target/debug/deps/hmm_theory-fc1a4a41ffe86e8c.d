@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_theory-fc1a4a41ffe86e8c.d: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+/root/repo/target/debug/deps/libhmm_theory-fc1a4a41ffe86e8c.rlib: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+/root/repo/target/debug/deps/libhmm_theory-fc1a4a41ffe86e8c.rmeta: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+crates/theory/src/lib.rs:
+crates/theory/src/envelope.rs:
+crates/theory/src/regimes.rs:
+crates/theory/src/table1.rs:
+crates/theory/src/table2.rs:

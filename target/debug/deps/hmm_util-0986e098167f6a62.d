@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmm_util-0986e098167f6a62.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/hmm_util-0986e098167f6a62: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

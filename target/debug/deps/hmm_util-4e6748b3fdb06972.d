@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmm_util-4e6748b3fdb06972.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/libhmm_util-4e6748b3fdb06972.rlib: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/libhmm_util-4e6748b3fdb06972.rmeta: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmm_util-7de3963fcd6a9a0f.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_util-7de3963fcd6a9a0f.rmeta: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

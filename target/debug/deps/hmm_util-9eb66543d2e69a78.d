@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmm_util-9eb66543d2e69a78.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_util-9eb66543d2e69a78.rmeta: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmm_workloads-5ffb673c1809b107.d: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmm_workloads-5ffb673c1809b107.rmeta: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmm_workloads-753edc74468328ee.d: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/debug/deps/hmm_workloads-753edc74468328ee: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sweeps.rs:

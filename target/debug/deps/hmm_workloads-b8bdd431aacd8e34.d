@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmm_workloads-b8bdd431aacd8e34.d: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/debug/deps/libhmm_workloads-b8bdd431aacd8e34.rlib: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/debug/deps/libhmm_workloads-b8bdd431aacd8e34.rmeta: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lang_vs_isa-0c1dc88ee7253cc0.d: tests/lang_vs_isa.rs
+
+/root/repo/target/debug/deps/lang_vs_isa-0c1dc88ee7253cc0: tests/lang_vs_isa.rs
+
+tests/lang_vs_isa.rs:

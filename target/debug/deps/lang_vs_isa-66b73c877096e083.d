@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lang_vs_isa-66b73c877096e083.d: tests/lang_vs_isa.rs
+
+/root/repo/target/debug/deps/lang_vs_isa-66b73c877096e083: tests/lang_vs_isa.rs
+
+tests/lang_vs_isa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lang_vs_isa-be8770795db36b68.d: tests/lang_vs_isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblang_vs_isa-be8770795db36b68.rmeta: tests/lang_vs_isa.rs Cargo.toml
+
+tests/lang_vs_isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

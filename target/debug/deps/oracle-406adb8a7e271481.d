@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-406adb8a7e271481.d: crates/lang/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-406adb8a7e271481: crates/lang/tests/oracle.rs
+
+crates/lang/tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-9bfb2556a64d6260.d: crates/lang/tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-9bfb2556a64d6260.rmeta: crates/lang/tests/oracle.rs Cargo.toml
+
+crates/lang/tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-c1801b79cff45a05.d: crates/lang/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-c1801b79cff45a05: crates/lang/tests/oracle.rs
+
+crates/lang/tests/oracle.rs:

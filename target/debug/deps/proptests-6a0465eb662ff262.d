@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6a0465eb662ff262.d: crates/machine/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6a0465eb662ff262.rmeta: crates/machine/tests/proptests.rs Cargo.toml
+
+crates/machine/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

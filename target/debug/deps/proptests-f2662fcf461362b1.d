@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f2662fcf461362b1.d: crates/machine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f2662fcf461362b1: crates/machine/tests/proptests.rs
+
+crates/machine/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regimes-0dc640ebf7459703.d: crates/bench/src/bin/regimes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregimes-0dc640ebf7459703.rmeta: crates/bench/src/bin/regimes.rs Cargo.toml
+
+crates/bench/src/bin/regimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regimes-36a6ecc31418adf6.d: crates/bench/src/bin/regimes.rs
+
+/root/repo/target/debug/deps/regimes-36a6ecc31418adf6: crates/bench/src/bin/regimes.rs
+
+crates/bench/src/bin/regimes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regimes-b61e728488784dd1.d: crates/bench/src/bin/regimes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregimes-b61e728488784dd1.rmeta: crates/bench/src/bin/regimes.rs Cargo.toml
+
+crates/bench/src/bin/regimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_vs_dynamic-845e2cee4b036a33.d: tests/static_vs_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_vs_dynamic-845e2cee4b036a33.rmeta: tests/static_vs_dynamic.rs Cargo.toml
+
+tests/static_vs_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

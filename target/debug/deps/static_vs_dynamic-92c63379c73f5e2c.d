@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_vs_dynamic-92c63379c73f5e2c.d: tests/static_vs_dynamic.rs
+
+/root/repo/target/debug/deps/static_vs_dynamic-92c63379c73f5e2c: tests/static_vs_dynamic.rs
+
+tests/static_vs_dynamic.rs:

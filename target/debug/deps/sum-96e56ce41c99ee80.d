@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sum-96e56ce41c99ee80.d: crates/bench/benches/sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsum-96e56ce41c99ee80.rmeta: crates/bench/benches/sum.rs Cargo.toml
+
+crates/bench/benches/sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

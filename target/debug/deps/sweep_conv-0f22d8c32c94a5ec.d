@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_conv-0f22d8c32c94a5ec.d: crates/bench/src/bin/sweep_conv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_conv-0f22d8c32c94a5ec.rmeta: crates/bench/src/bin/sweep_conv.rs Cargo.toml
+
+crates/bench/src/bin/sweep_conv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_conv-6967391bdb843e07.d: crates/bench/src/bin/sweep_conv.rs
+
+/root/repo/target/debug/deps/sweep_conv-6967391bdb843e07: crates/bench/src/bin/sweep_conv.rs
+
+crates/bench/src/bin/sweep_conv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_conv-f25012e04d0589b0.d: crates/bench/src/bin/sweep_conv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_conv-f25012e04d0589b0.rmeta: crates/bench/src/bin/sweep_conv.rs Cargo.toml
+
+crates/bench/src/bin/sweep_conv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_sum-2c428eadfae05682.d: crates/bench/src/bin/sweep_sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_sum-2c428eadfae05682.rmeta: crates/bench/src/bin/sweep_sum.rs Cargo.toml
+
+crates/bench/src/bin/sweep_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

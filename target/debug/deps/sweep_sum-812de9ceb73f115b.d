@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_sum-812de9ceb73f115b.d: crates/bench/src/bin/sweep_sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_sum-812de9ceb73f115b.rmeta: crates/bench/src/bin/sweep_sum.rs Cargo.toml
+
+crates/bench/src/bin/sweep_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_sum-a6823ee990978c83.d: crates/bench/src/bin/sweep_sum.rs
+
+/root/repo/target/debug/deps/sweep_sum-a6823ee990978c83: crates/bench/src/bin/sweep_sum.rs
+
+crates/bench/src/bin/sweep_sum.rs:

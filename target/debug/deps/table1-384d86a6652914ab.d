@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-384d86a6652914ab.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-384d86a6652914ab: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_shapes-5e8189aebd7e5b7a.d: tests/table1_shapes.rs
+
+/root/repo/target/debug/deps/table1_shapes-5e8189aebd7e5b7a: tests/table1_shapes.rs
+
+tests/table1_shapes.rs:

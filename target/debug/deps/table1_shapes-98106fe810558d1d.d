@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_shapes-98106fe810558d1d.d: tests/table1_shapes.rs
+
+/root/repo/target/debug/deps/table1_shapes-98106fe810558d1d: tests/table1_shapes.rs
+
+tests/table1_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_shapes-dc50e1d7e802c84e.d: tests/table1_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_shapes-dc50e1d7e802c84e.rmeta: tests/table1_shapes.rs Cargo.toml
+
+tests/table1_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

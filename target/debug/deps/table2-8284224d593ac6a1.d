@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8284224d593ac6a1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8284224d593ac6a1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

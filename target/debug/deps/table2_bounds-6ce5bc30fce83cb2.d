@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_bounds-6ce5bc30fce83cb2.d: tests/table2_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_bounds-6ce5bc30fce83cb2.rmeta: tests/table2_bounds.rs Cargo.toml
+
+tests/table2_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

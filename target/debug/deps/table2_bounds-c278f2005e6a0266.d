@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_bounds-c278f2005e6a0266.d: tests/table2_bounds.rs
+
+/root/repo/target/debug/deps/table2_bounds-c278f2005e6a0266: tests/table2_bounds.rs
+
+tests/table2_bounds.rs:

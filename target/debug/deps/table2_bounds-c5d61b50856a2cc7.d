@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_bounds-c5d61b50856a2cc7.d: tests/table2_bounds.rs
+
+/root/repo/target/debug/deps/table2_bounds-c5d61b50856a2cc7: tests/table2_bounds.rs
+
+tests/table2_bounds.rs:

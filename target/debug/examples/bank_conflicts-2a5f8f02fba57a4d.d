@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bank_conflicts-2a5f8f02fba57a4d.d: examples/bank_conflicts.rs
+
+/root/repo/target/debug/examples/bank_conflicts-2a5f8f02fba57a4d: examples/bank_conflicts.rs
+
+examples/bank_conflicts.rs:

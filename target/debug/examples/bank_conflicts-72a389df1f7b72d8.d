@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bank_conflicts-72a389df1f7b72d8.d: examples/bank_conflicts.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbank_conflicts-72a389df1f7b72d8.rmeta: examples/bank_conflicts.rs Cargo.toml
+
+examples/bank_conflicts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bank_conflicts-785e3bebabc060df.d: examples/bank_conflicts.rs
+
+/root/repo/target/debug/examples/bank_conflicts-785e3bebabc060df: examples/bank_conflicts.rs
+
+examples/bank_conflicts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_kernel-456063669a0a3a03.d: examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel-456063669a0a3a03.rmeta: examples/custom_kernel.rs Cargo.toml
+
+examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-8ce1658e80ac5109.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-8ce1658e80ac5109: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

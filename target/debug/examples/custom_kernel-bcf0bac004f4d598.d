@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-bcf0bac004f4d598.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-bcf0bac004f4d598: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fir_filter-a3b2567772b61485.d: examples/fir_filter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfir_filter-a3b2567772b61485.rmeta: examples/fir_filter.rs Cargo.toml
+
+examples/fir_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fir_filter-a3da24273d1dfd9a.d: examples/fir_filter.rs
+
+/root/repo/target/debug/examples/fir_filter-a3da24273d1dfd9a: examples/fir_filter.rs
+
+examples/fir_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fir_filter-ca63ebde266f999a.d: examples/fir_filter.rs
+
+/root/repo/target/debug/examples/fir_filter-ca63ebde266f999a: examples/fir_filter.rs
+
+examples/fir_filter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fuzzy_search-709c304505fd809f.d: examples/fuzzy_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfuzzy_search-709c304505fd809f.rmeta: examples/fuzzy_search.rs Cargo.toml
+
+examples/fuzzy_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fuzzy_search-89f5cf753c6229ec.d: examples/fuzzy_search.rs
+
+/root/repo/target/debug/examples/fuzzy_search-89f5cf753c6229ec: examples/fuzzy_search.rs
+
+examples/fuzzy_search.rs:

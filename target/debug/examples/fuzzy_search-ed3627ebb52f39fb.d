@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fuzzy_search-ed3627ebb52f39fb.d: examples/fuzzy_search.rs
+
+/root/repo/target/debug/examples/fuzzy_search-ed3627ebb52f39fb: examples/fuzzy_search.rs
+
+examples/fuzzy_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gtx580-01b6483eab815180.d: examples/gtx580.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgtx580-01b6483eab815180.rmeta: examples/gtx580.rs Cargo.toml
+
+examples/gtx580.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

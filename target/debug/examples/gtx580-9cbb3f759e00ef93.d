@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gtx580-9cbb3f759e00ef93.d: examples/gtx580.rs
+
+/root/repo/target/debug/examples/gtx580-9cbb3f759e00ef93: examples/gtx580.rs
+
+examples/gtx580.rs:

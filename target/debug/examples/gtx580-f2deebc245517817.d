@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gtx580-f2deebc245517817.d: examples/gtx580.rs
+
+/root/repo/target/debug/examples/gtx580-f2deebc245517817: examples/gtx580.rs
+
+examples/gtx580.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-386e10585706987b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-386e10585706987b: examples/quickstart.rs
+
+examples/quickstart.rs:

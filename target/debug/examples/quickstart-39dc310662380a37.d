@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-39dc310662380a37.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-39dc310662380a37: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_tables-75052946d30a83ca.d: crates/bench/src/bin/ext_tables.rs
+
+/root/repo/target/release/deps/ext_tables-75052946d30a83ca: crates/bench/src/bin/ext_tables.rs
+
+crates/bench/src/bin/ext_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-f57c957fd63923b3.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-f57c957fd63923b3: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

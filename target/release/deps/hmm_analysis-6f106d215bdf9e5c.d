@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hmm_analysis-6f106d215bdf9e5c.d: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs
+
+/root/repo/target/release/deps/libhmm_analysis-6f106d215bdf9e5c.rlib: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs
+
+/root/repo/target/release/deps/libhmm_analysis-6f106d215bdf9e5c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/affine.rs crates/analysis/src/barrier.rs crates/analysis/src/cfg.rs crates/analysis/src/conflict.rs crates/analysis/src/dataflow.rs crates/analysis/src/diag.rs crates/analysis/src/examples.rs crates/analysis/src/interp.rs crates/analysis/src/race.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/affine.rs:
+crates/analysis/src/barrier.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/conflict.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/examples.rs:
+crates/analysis/src/interp.rs:
+crates/analysis/src/race.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hmm_bench-936057359de3614a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhmm_bench-936057359de3614a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhmm_bench-936057359de3614a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hmm_cli-37ffe6dd7634f313.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+/root/repo/target/release/deps/libhmm_cli-37ffe6dd7634f313.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+/root/repo/target/release/deps/libhmm_cli-37ffe6dd7634f313.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/lint.rs crates/cli/src/run.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/lint.rs:
+crates/cli/src/run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hmm_cli-4771579a862f6595.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+/root/repo/target/release/deps/libhmm_cli-4771579a862f6595.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+/root/repo/target/release/deps/libhmm_cli-4771579a862f6595.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/run.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hmm_cli-7d622a3b9d9f9f36.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hmm_cli-7d622a3b9d9f9f36: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

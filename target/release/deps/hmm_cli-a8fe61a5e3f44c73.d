@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hmm_cli-a8fe61a5e3f44c73.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hmm_cli-a8fe61a5e3f44c73: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hmm_core-a2f8ac7f889f748d.d: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+/root/repo/target/release/deps/libhmm_core-a2f8ac7f889f748d.rlib: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+/root/repo/target/release/deps/libhmm_core-a2f8ac7f889f748d.rmeta: crates/core/src/lib.rs crates/core/src/machine.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/machine.rs:
+crates/core/src/presets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hmm_gpu-00d89e37357e7348.d: src/lib.rs
+
+/root/repo/target/release/deps/libhmm_gpu-00d89e37357e7348.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhmm_gpu-00d89e37357e7348.rmeta: src/lib.rs
+
+src/lib.rs:

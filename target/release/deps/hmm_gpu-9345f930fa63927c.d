@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hmm_gpu-9345f930fa63927c.d: src/lib.rs
+
+/root/repo/target/release/deps/libhmm_gpu-9345f930fa63927c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhmm_gpu-9345f930fa63927c.rmeta: src/lib.rs
+
+src/lib.rs:

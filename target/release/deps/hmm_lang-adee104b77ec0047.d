@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hmm_lang-adee104b77ec0047.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/release/deps/libhmm_lang-adee104b77ec0047.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+/root/repo/target/release/deps/libhmm_lang-adee104b77ec0047.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/patterns.rs crates/lang/src/pretty.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/patterns.rs:
+crates/lang/src/pretty.rs:

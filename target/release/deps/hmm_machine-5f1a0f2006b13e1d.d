@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hmm_machine-5f1a0f2006b13e1d.d: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs
+
+/root/repo/target/release/deps/libhmm_machine-5f1a0f2006b13e1d.rlib: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs
+
+/root/repo/target/release/deps/libhmm_machine-5f1a0f2006b13e1d.rmeta: crates/machine/src/lib.rs crates/machine/src/asm.rs crates/machine/src/bank.rs crates/machine/src/disasm.rs crates/machine/src/engine.rs crates/machine/src/error.rs crates/machine/src/isa.rs crates/machine/src/kbuild.rs crates/machine/src/request.rs crates/machine/src/stats.rs crates/machine/src/trace.rs crates/machine/src/vm.rs crates/machine/src/word.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/asm.rs:
+crates/machine/src/bank.rs:
+crates/machine/src/disasm.rs:
+crates/machine/src/engine.rs:
+crates/machine/src/error.rs:
+crates/machine/src/isa.rs:
+crates/machine/src/kbuild.rs:
+crates/machine/src/request.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/vm.rs:
+crates/machine/src/word.rs:

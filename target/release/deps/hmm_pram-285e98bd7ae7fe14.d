@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hmm_pram-285e98bd7ae7fe14.d: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+/root/repo/target/release/deps/libhmm_pram-285e98bd7ae7fe14.rlib: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+/root/repo/target/release/deps/libhmm_pram-285e98bd7ae7fe14.rmeta: crates/pram/src/lib.rs crates/pram/src/algorithms.rs crates/pram/src/engine.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/algorithms.rs:
+crates/pram/src/engine.rs:

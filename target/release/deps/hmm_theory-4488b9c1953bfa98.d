@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hmm_theory-4488b9c1953bfa98.d: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+/root/repo/target/release/deps/libhmm_theory-4488b9c1953bfa98.rlib: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+/root/repo/target/release/deps/libhmm_theory-4488b9c1953bfa98.rmeta: crates/theory/src/lib.rs crates/theory/src/envelope.rs crates/theory/src/regimes.rs crates/theory/src/table1.rs crates/theory/src/table2.rs
+
+crates/theory/src/lib.rs:
+crates/theory/src/envelope.rs:
+crates/theory/src/regimes.rs:
+crates/theory/src/table1.rs:
+crates/theory/src/table2.rs:

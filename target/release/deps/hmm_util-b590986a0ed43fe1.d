@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hmm_util-b590986a0ed43fe1.d: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/libhmm_util-b590986a0ed43fe1.rlib: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/libhmm_util-b590986a0ed43fe1.rmeta: crates/util/src/lib.rs crates/util/src/bench.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bench.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

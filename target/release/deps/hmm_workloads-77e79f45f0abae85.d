@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hmm_workloads-77e79f45f0abae85.d: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/release/deps/libhmm_workloads-77e79f45f0abae85.rlib: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/release/deps/libhmm_workloads-77e79f45f0abae85.rmeta: crates/workloads/src/lib.rs crates/workloads/src/inputs.rs crates/workloads/src/sweeps.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sweeps.rs:

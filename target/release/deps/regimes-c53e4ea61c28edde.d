@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regimes-c53e4ea61c28edde.d: crates/bench/src/bin/regimes.rs
+
+/root/repo/target/release/deps/regimes-c53e4ea61c28edde: crates/bench/src/bin/regimes.rs
+
+crates/bench/src/bin/regimes.rs:

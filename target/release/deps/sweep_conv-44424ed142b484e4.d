@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_conv-44424ed142b484e4.d: crates/bench/src/bin/sweep_conv.rs
+
+/root/repo/target/release/deps/sweep_conv-44424ed142b484e4: crates/bench/src/bin/sweep_conv.rs
+
+crates/bench/src/bin/sweep_conv.rs:

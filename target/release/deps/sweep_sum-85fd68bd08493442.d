@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_sum-85fd68bd08493442.d: crates/bench/src/bin/sweep_sum.rs
+
+/root/repo/target/release/deps/sweep_sum-85fd68bd08493442: crates/bench/src/bin/sweep_sum.rs
+
+crates/bench/src/bin/sweep_sum.rs:

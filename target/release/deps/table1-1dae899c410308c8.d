@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1dae899c410308c8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1dae899c410308c8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-52b26a3dd2568cfa.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-52b26a3dd2568cfa: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bank_conflicts-f593bfaeeb4986db.d: examples/bank_conflicts.rs
+
+/root/repo/target/release/examples/bank_conflicts-f593bfaeeb4986db: examples/bank_conflicts.rs
+
+examples/bank_conflicts.rs:

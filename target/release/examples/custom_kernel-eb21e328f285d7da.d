@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_kernel-eb21e328f285d7da.d: examples/custom_kernel.rs
+
+/root/repo/target/release/examples/custom_kernel-eb21e328f285d7da: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fir_filter-0c6c6ee646008ec1.d: examples/fir_filter.rs
+
+/root/repo/target/release/examples/fir_filter-0c6c6ee646008ec1: examples/fir_filter.rs
+
+examples/fir_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fuzzy_search-c4ba6dfc5fe6878e.d: examples/fuzzy_search.rs
+
+/root/repo/target/release/examples/fuzzy_search-c4ba6dfc5fe6878e: examples/fuzzy_search.rs
+
+examples/fuzzy_search.rs:

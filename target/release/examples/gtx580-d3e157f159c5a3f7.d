@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gtx580-d3e157f159c5a3f7.d: examples/gtx580.rs
+
+/root/repo/target/release/examples/gtx580-d3e157f159c5a3f7: examples/gtx580.rs
+
+examples/gtx580.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-dda7f84a35bae40a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-dda7f84a35bae40a: examples/quickstart.rs
+
+examples/quickstart.rs:

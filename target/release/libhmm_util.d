@@ -1,0 +1,1 @@
+/root/repo/target/release/libhmm_util.rlib: /root/repo/crates/util/src/bench.rs /root/repo/crates/util/src/json.rs /root/repo/crates/util/src/lib.rs /root/repo/crates/util/src/rng.rs

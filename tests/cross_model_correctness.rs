@@ -1,6 +1,7 @@
-//! Property-based correctness: every parallel implementation of the sum
+//! Randomised correctness: every parallel implementation of the sum
 //! and convolution computes exactly the sequential reference, on all
-//! machine shapes — random inputs, random problem/machine parameters.
+//! machine shapes — random inputs, random problem/machine parameters,
+//! seeded so every run checks the same cases.
 
 use hmm_algorithms::convolution::hmm::shared_words;
 use hmm_algorithms::convolution::{run_conv_blocked, run_conv_dmm_umm, run_conv_hmm};
@@ -9,83 +10,80 @@ use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm, run_sum_hmm_single_dmm};
 use hmm_core::Machine;
 use hmm_machine::Word;
 use hmm_pram::algorithms as pram_algos;
-use proptest::prelude::*;
+use hmm_util::Rng;
 
-fn word_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Word>> {
-    prop::collection::vec(-1000i64..1000, len)
+fn random_vec(rng: &mut Rng, len: usize) -> Vec<Word> {
+    (0..len).map(|_| rng.int_in(-1000, 999)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn sum_agrees_everywhere(
-        input in word_vec(1..400),
-        p_exp in 0usize..8,
-        w_exp in 1usize..4,
-        l in 1usize..24,
-        d_exp in 0usize..3,
-    ) {
-        let n = input.len();
-        let w = 1 << w_exp;
-        let d = 1 << d_exp;
-        let p = ((1 << p_exp) * d).min(512);
+#[test]
+fn sum_agrees_everywhere() {
+    let mut rng = Rng::new(0x5D17);
+    for _ in 0..24 {
+        let n = 1 + rng.usize_below(399);
+        let input = random_vec(&mut rng, n);
+        let w = 1 << (1 + rng.usize_below(3));
+        let d = 1 << rng.usize_below(3);
+        let p = ((1 << rng.usize_below(8)) * d).min(512);
+        let l = 1 + rng.usize_below(23);
         let expect = reference::sum(&input).value;
         let cap = n.next_power_of_two().max(16) + 64;
 
         let mut dmm = Machine::dmm(w, l, cap);
-        prop_assert_eq!(run_sum_dmm_umm(&mut dmm, &input, p).unwrap().value, expect);
+        assert_eq!(run_sum_dmm_umm(&mut dmm, &input, p).unwrap().value, expect);
 
         let mut umm = Machine::umm(w, l, cap);
-        prop_assert_eq!(run_sum_dmm_umm(&mut umm, &input, p).unwrap().value, expect);
+        assert_eq!(run_sum_dmm_umm(&mut umm, &input, p).unwrap().value, expect);
 
         let mut hmm = Machine::hmm(d, w, l, cap, (p / d).next_power_of_two().max(8));
-        prop_assert_eq!(run_sum_hmm(&mut hmm, &input, p).unwrap().value, expect);
+        assert_eq!(run_sum_hmm(&mut hmm, &input, p).unwrap().value, expect);
 
         let q = (w * l).min(128);
         let mut hmm1 = Machine::hmm(d, w, l, n + q.next_power_of_two() + 8, 8);
-        prop_assert_eq!(
+        assert_eq!(
             run_sum_hmm_single_dmm(&mut hmm1, &input, q).unwrap().value,
             expect
         );
 
         let (pram_val, _) = pram_algos::run_sum(&input, p).unwrap();
-        prop_assert_eq!(pram_val, expect);
+        assert_eq!(pram_val, expect);
     }
+}
 
-    #[test]
-    fn convolution_agrees_everywhere(
-        k in 1usize..12,
-        n in 1usize..160,
-        seed in 0u64..1000,
-        p_exp in 0usize..7,
-        w_exp in 1usize..4,
-        l in 1usize..16,
-        d_exp in 0usize..3,
-    ) {
+#[test]
+fn convolution_agrees_everywhere() {
+    let mut rng = Rng::new(0xC04F);
+    for _ in 0..24 {
+        let k = 1 + rng.usize_below(11);
+        let n = 1 + rng.usize_below(159);
+        let seed = rng.below(1000);
         let a = hmm_workloads::random_words(k, seed, 100);
         let b = hmm_workloads::random_words(n + k - 1, seed + 1, 100);
-        let w = 1 << w_exp;
-        let d = 1 << d_exp;
-        let p = ((1 << p_exp) * d).min(256);
+        let w = 1 << (1 + rng.usize_below(3));
+        let d = 1 << rng.usize_below(3);
+        let p = ((1 << rng.usize_below(7)) * d).min(256);
+        let l = 1 + rng.usize_below(15);
         let expect = reference::convolution(&a, &b).value;
         let cap = 2 * (n + 2 * k) + 64;
 
         let mut umm = Machine::umm(w, l, cap);
-        prop_assert_eq!(run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().value, expect.clone());
+        assert_eq!(run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().value, expect);
 
         let mut dmm = Machine::dmm(w, l, cap);
-        prop_assert_eq!(run_conv_dmm_umm(&mut dmm, &a, &b, p).unwrap().value, expect.clone());
+        assert_eq!(run_conv_dmm_umm(&mut dmm, &a, &b, p).unwrap().value, expect);
 
         let m_slice = n.div_ceil(d);
         let mut hmm = Machine::hmm(d, w, l, cap, shared_words(m_slice, k) + 8);
-        prop_assert_eq!(run_conv_hmm(&mut hmm, &a, &b, p).unwrap().value, expect.clone());
+        assert_eq!(run_conv_hmm(&mut hmm, &a, &b, p).unwrap().value, expect);
 
         let q = k.min(3);
         let mut blocked = Machine::umm(w, l, cap + n * q.next_power_of_two());
-        prop_assert_eq!(run_conv_blocked(&mut blocked, &a, &b, q).unwrap().value, expect.clone());
+        assert_eq!(
+            run_conv_blocked(&mut blocked, &a, &b, q).unwrap().value,
+            expect
+        );
 
         let (pram_val, _) = pram_algos::run_convolution(&a, &b, p).unwrap();
-        prop_assert_eq!(pram_val, expect);
+        assert_eq!(pram_val, expect);
     }
 }

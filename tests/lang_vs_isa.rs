@@ -118,7 +118,10 @@ fn lang_copy_matches_isa_copy() {
     let mut m = Machine::umm(w, lat, 2 * n);
     m.load_global(0, &input);
     let lang_rep = m
-        .launch(&Kernel::new("copy-lang", program), LaunchShape::Even(threads))
+        .launch(
+            &Kernel::new("copy-lang", program),
+            LaunchShape::Even(threads),
+        )
         .unwrap();
     assert_eq!(&m.global()[n..2 * n], &input[..]);
 

@@ -6,8 +6,8 @@
 //! the formula captures the measured asymptotics — the reproduction
 //! criterion for Table I.
 
-use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm};
 use hmm_core::Machine;
 use hmm_pram::algorithms as pram_algos;
