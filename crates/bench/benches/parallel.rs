@@ -1,0 +1,130 @@
+//! Wall-clock comparison of the sequential and threaded drivers, at both
+//! parallelism levels:
+//!
+//! * **engine-level** — one big d = 16 HMM launch (Table I workloads),
+//!   stepped by 1 vs 4 worker threads;
+//! * **batch-level** — the Table I d = 16 sum sweep (9 grid points),
+//!   fanned over a [`BatchRunner`] with 1 vs 4 threads.
+//!
+//! Simulated results are bit-identical in every configuration (asserted
+//! here); only wall-clock changes. The measured numbers — including the
+//! host's core count, which bounds any possible speedup — are written to
+//! `BENCH_parallel.json` at the repository root.
+//!
+//! Run with `cargo bench -p hmm-bench --bench parallel` (use a
+//! multi-core host for meaningful speedups; on a single hardware thread
+//! the parallel drivers can only add overhead).
+
+use std::time::Instant;
+
+use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::run_conv_hmm;
+use hmm_algorithms::sum::run_sum_hmm;
+use hmm_core::{BatchRunner, Machine, Parallelism};
+use hmm_util::Value;
+use hmm_workloads::random_words;
+
+const SAMPLES: usize = 5;
+
+/// Time `f` (after one warm-up call) and return the minimum of
+/// [`SAMPLES`] runs in milliseconds, plus the last result for
+/// equivalence checks.
+fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = f();
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        last = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last)
+}
+
+fn row(name: &str, seq_ms: f64, par_ms: f64) -> Value {
+    let speedup = seq_ms / par_ms;
+    println!("  {name:<24} sequential {seq_ms:>9.2} ms   4 threads {par_ms:>9.2} ms   speedup {speedup:>5.2}x");
+    Value::object(vec![
+        ("name", name.into()),
+        ("sequential_ms", seq_ms.into()),
+        ("parallel_ms", par_ms.into()),
+        ("speedup", speedup.into()),
+    ])
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (w, l, d) = (32usize, 256usize, 16usize);
+    println!("parallel engine bench: d = {d}, 4 worker threads, host cores = {cores}");
+    let mut rows = Vec::new();
+
+    // Engine-level: one launch, shards stepped by 1 vs 4 workers.
+    let n = 1 << 14;
+    let p = 2048;
+    let input = random_words(n, 42, 100);
+    let sum_run = |par: Parallelism| {
+        let mut m =
+            Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two()).with_parallelism(par);
+        run_sum_hmm(&mut m, &input, p).unwrap()
+    };
+    let (seq_ms, seq_out) = time_min(|| sum_run(Parallelism::Sequential));
+    let (par_ms, par_out) = time_min(|| sum_run(Parallelism::Threads(4)));
+    assert_eq!(seq_out.report, par_out.report, "engine sum diverged");
+    rows.push(row("engine/sum_theorem7", seq_ms, par_ms));
+
+    let (cn, ck, cp) = (1usize << 12, 32usize, 2048usize);
+    let ca = random_words(ck, 7, 50);
+    let cb = random_words(cn + ck - 1, 8, 50);
+    let conv_run = |par: Parallelism| {
+        let shared = shared_words(cn.div_ceil(d), ck) + 8;
+        let mut m = Machine::hmm(d, w, l, 2 * (cn + 2 * ck), shared).with_parallelism(par);
+        run_conv_hmm(&mut m, &ca, &cb, cp).unwrap()
+    };
+    let (seq_ms, seq_out) = time_min(|| conv_run(Parallelism::Sequential));
+    let (par_ms, par_out) = time_min(|| conv_run(Parallelism::Threads(4)));
+    assert_eq!(seq_out.report, par_out.report, "engine conv diverged");
+    rows.push(row("engine/conv_theorem9", seq_ms, par_ms));
+
+    // Batch-level: the Table I sum grid (9 points) over a BatchRunner.
+    let mut grid = Vec::new();
+    for &gn in &[1usize << 12, 1 << 13, 1 << 14] {
+        for &gp in &[512usize, 1024, 2048] {
+            grid.push((gn, gp));
+        }
+    }
+    let sweep = |threads: usize| {
+        let runner = if threads == 1 {
+            BatchRunner::sequential()
+        } else {
+            BatchRunner::with_threads(threads)
+        };
+        runner.run(grid.clone(), |(gn, gp)| {
+            let input = random_words(gn, gn as u64, 100);
+            let mut m = Machine::hmm(d, w, l, gn + 32, (gp / d).next_power_of_two().max(64))
+                .with_parallelism(Parallelism::Sequential);
+            run_sum_hmm(&mut m, &input, gp).unwrap().report.time
+        })
+    };
+    let (seq_ms, seq_times) = time_min(|| sweep(1));
+    let (par_ms, par_times) = time_min(|| sweep(4));
+    assert_eq!(seq_times, par_times, "batch sweep diverged");
+    rows.push(row("batch/table1_sum_sweep", seq_ms, par_ms));
+
+    let doc = Value::object(vec![
+        ("bench", "parallel".into()),
+        ("host_cores", cores.into()),
+        ("worker_threads", 4usize.into()),
+        ("samples_per_point", SAMPLES.into()),
+        (
+            "note",
+            "min-of-samples wall-clock; simulated results asserted bit-identical. \
+             Speedups are bounded by host_cores — on a single-core host the \
+             threaded drivers can only break even or lose."
+                .into(),
+        ),
+        ("workloads", Value::Array(rows)),
+    ]);
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    std::fs::write(&path, doc.to_json_pretty()).expect("write BENCH_parallel.json");
+    println!("\n  [dump] {}", path.display());
+}

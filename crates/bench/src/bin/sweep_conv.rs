@@ -9,34 +9,57 @@
 //!    multiply-accumulate stream once warps run out; the HMM pays it only
 //!    during staging.
 //!
+//! Both sweeps fan their independent points out over a [`BatchRunner`];
+//! results return in sweep order, so output is identical at any thread
+//! count.
+//!
 //! Run with `cargo run --release -p hmm-bench --bin sweep_conv`.
 
 use hmm_algorithms::convolution::hmm::shared_words;
 use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_bench::{dump, header, row, Measurement};
-use hmm_core::Machine;
+use hmm_core::{BatchRunner, Machine, Parallelism};
 use hmm_theory::{table1, Params};
 use hmm_workloads::random_words;
+
+/// Run the UMM (Theorem 8) and HMM (Theorem 9) convolutions at one point.
+#[allow(clippy::too_many_arguments)]
+fn conv_pair(
+    n: usize,
+    k: usize,
+    p: usize,
+    w: usize,
+    l: usize,
+    d: usize,
+    seeds: (u64, u64),
+) -> (u64, u64) {
+    let a = random_words(k, seeds.0, 50);
+    let b = random_words(n + k - 1, seeds.1, 50);
+
+    let mut umm = Machine::umm(w, l, 2 * (n + 2 * k)).with_parallelism(Parallelism::Sequential);
+    let t8 = run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().report.time;
+
+    let m_slice = n.div_ceil(d);
+    let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8)
+        .with_parallelism(Parallelism::Sequential);
+    let t9 = run_conv_hmm(&mut hmm, &a, &b, p).unwrap().report.time;
+    (t8, t9)
+}
 
 fn main() {
     let n = 1 << 12;
     let (w, d, p) = (32usize, 16usize, 2048usize);
     let mut ms = Vec::new();
+    let runner = BatchRunner::new();
 
     println!("== Sweep 1: kernel length k (n = {n}, w = {w}, d = {d}, p = {p}, l = 256) ==\n");
     header(&["k", "umm-T8", "hmm-T9", "T9-pred", "speedup"]);
     let l = 256;
-    for &k in &[4usize, 8, 16, 32, 64, 128] {
-        let a = random_words(k, k as u64, 50);
-        let b = random_words(n + k - 1, 77, 50);
-
-        let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
-        let t8 = run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().report.time;
-
-        let m_slice = n.div_ceil(d);
-        let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
-        let t9 = run_conv_hmm(&mut hmm, &a, &b, p).unwrap().report.time;
-
+    let k_points = vec![4usize, 8, 16, 32, 64, 128];
+    let k_results = runner.run(k_points, |k| {
+        (k, conv_pair(n, k, p, w, l, d, (k as u64, 77)))
+    });
+    for (k, (t8, t9)) in k_results {
         let pr = Params { n, k, p, w, l, d };
         let pred = table1::conv_hmm(pr);
         row(&[
@@ -58,16 +81,9 @@ fn main() {
     println!("\n== Sweep 2: latency l (n = {n}, k = 32, w = {w}, d = {d}, p = {p}) ==\n");
     header(&["l", "umm-T8", "hmm-T9", "speedup"]);
     let k = 32;
-    let a = random_words(k, 9, 50);
-    let b = random_words(n + k - 1, 10, 50);
-    for &l in &[1usize, 16, 64, 256, 512] {
-        let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
-        let t8 = run_conv_dmm_umm(&mut umm, &a, &b, p).unwrap().report.time;
-
-        let m_slice = n.div_ceil(d);
-        let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
-        let t9 = run_conv_hmm(&mut hmm, &a, &b, p).unwrap().report.time;
-
+    let l_points = vec![1usize, 16, 64, 256, 512];
+    let l_results = runner.run(l_points, |l| (l, conv_pair(n, k, p, w, l, d, (9, 10))));
+    for (l, (t8, t9)) in l_results {
         let pr = Params { n, k, p, w, l, d };
         row(&[
             l.to_string(),

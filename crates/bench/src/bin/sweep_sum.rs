@@ -11,11 +11,15 @@
 //!    pipeline disabled, demonstrating that latency hiding (not raw
 //!    bandwidth) is what the model's bounds rest on.
 //!
+//! Sweeps 1 and 2 fan their independent points out over a
+//! [`BatchRunner`]; results return in sweep order, so the printed tables
+//! and the JSON dump are identical at any thread count.
+//!
 //! Run with `cargo run --release -p hmm-bench --bin sweep_sum`.
 
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm, run_sum_hmm_single_dmm};
 use hmm_bench::{dump, header, row, Measurement};
-use hmm_core::{Machine, ModelKind};
+use hmm_core::{BatchRunner, Machine, ModelKind, Parallelism};
 use hmm_machine::EngineConfig;
 use hmm_theory::{table1, Params};
 use hmm_workloads::random_words;
@@ -25,23 +29,31 @@ fn main() {
     let w = 32;
     let input = random_words(n, 5, 100);
     let mut ms = Vec::new();
+    let runner = BatchRunner::new();
 
     println!("== Sweep 1: latency (n = {n}, w = {w}, p = 2048, d = 16) ==\n");
     header(&["l", "umm-L5", "hmm1-L6", "hmm-T7", "T7-pred"]);
     let (p, d) = (2048usize, 16usize);
-    for &l in &[1usize, 8, 32, 128, 512] {
-        let mut umm = Machine::umm(w, l, n.next_power_of_two());
+    let latency_points = vec![1usize, 8, 32, 128, 512];
+    let latency_results = runner.run(latency_points, |l| {
+        let mut umm =
+            Machine::umm(w, l, n.next_power_of_two()).with_parallelism(Parallelism::Sequential);
         let t5 = run_sum_dmm_umm(&mut umm, &input, p).unwrap().report.time;
 
         let q = (w * l).min(p);
-        let mut h1 = Machine::hmm(d, w, l, n + 2 * q.next_power_of_two(), 64);
+        let mut h1 = Machine::hmm(d, w, l, n + 2 * q.next_power_of_two(), 64)
+            .with_parallelism(Parallelism::Sequential);
         let t6 = run_sum_hmm_single_dmm(&mut h1, &input, q)
             .unwrap()
             .report
             .time;
 
-        let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two());
+        let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two())
+            .with_parallelism(Parallelism::Sequential);
         let t7 = run_sum_hmm(&mut hmm, &input, p).unwrap().report.time;
+        (l, t5, t6, t7)
+    });
+    for (l, t5, t6, t7) in latency_results {
         let pr = Params {
             n,
             k: 1,
@@ -51,7 +63,6 @@ fn main() {
             d,
         };
         let pred = table1::sum_hmm(pr);
-
         row(&[
             l.to_string(),
             t5.to_string(),
@@ -71,10 +82,15 @@ fn main() {
     println!("\n== Sweep 2: DMM count (n = {n}, w = {w}, l = 256, p = 128·d) ==\n");
     header(&["d", "p", "hmm-T7", "T7-pred"]);
     let l = 256;
-    for &d in &[1usize, 2, 4, 8, 16, 32] {
+    let dmm_points = vec![1usize, 2, 4, 8, 16, 32];
+    let dmm_results = runner.run(dmm_points, |d| {
         let p = 128 * d;
-        let mut hmm = Machine::hmm(d, w, l, n + 2 * d.next_power_of_two(), 256);
+        let mut hmm = Machine::hmm(d, w, l, n + 2 * d.next_power_of_two(), 256)
+            .with_parallelism(Parallelism::Sequential);
         let t7 = run_sum_hmm(&mut hmm, &input, p).unwrap().report.time;
+        (d, p, t7)
+    });
+    for (d, p, t7) in dmm_results {
         let pr = Params {
             n,
             k: 1,

@@ -3,6 +3,10 @@
 //! and the HMM — measured in simulated time units and compared against
 //! the closed-form Θ-shapes.
 //!
+//! The grid points are independent simulations, so they fan out over a
+//! [`BatchRunner`]; results come back in grid order, making the printed
+//! table and the JSON dump identical at any thread count.
+//!
 //! Run with `cargo run --release -p hmm-bench --bin table1`.
 
 use hmm_algorithms::convolution::hmm::shared_words;
@@ -10,7 +14,7 @@ use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_algorithms::reference;
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm};
 use hmm_bench::{dump, header, row, summarise, Measurement};
-use hmm_core::Machine;
+use hmm_core::{BatchRunner, Machine, Parallelism};
 use hmm_pram::algorithms as pram_algos;
 use hmm_theory::{table1, Params};
 use hmm_workloads::random_words;
@@ -19,67 +23,149 @@ fn params(n: usize, k: usize, p: usize, w: usize, l: usize, d: usize) -> Params 
     Params { n, k, p, w, l, d }
 }
 
-#[allow(clippy::too_many_lines)]
+/// One sum-row grid point: returns the printable row and its measurements.
+fn sum_point(n: usize, p: usize, w: usize, l: usize, d: usize) -> (Vec<String>, Vec<Measurement>) {
+    let input = random_words(n, n as u64 ^ p as u64, 100);
+    let seq = reference::sum(&input);
+
+    let (_, pram_rep) = pram_algos::run_sum(&input, p).expect("pram sum");
+    let pram_pred = table1::sum_pram(n, p);
+
+    let mut umm =
+        Machine::umm(w, l, n.next_power_of_two()).with_parallelism(Parallelism::Sequential);
+    let du = run_sum_dmm_umm(&mut umm, &input, p).expect("umm sum");
+    assert_eq!(du.value, seq.value);
+    let du_pred = table1::sum_dmm_umm(params(n, 1, p, w, l, 1));
+
+    let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64))
+        .with_parallelism(Parallelism::Sequential);
+    let hm = run_sum_hmm(&mut hmm, &input, p).expect("hmm sum");
+    assert_eq!(hm.value, seq.value);
+    let hm_pred = table1::sum_hmm(params(n, 1, p, w, l, d));
+
+    let cells = vec![
+        n.to_string(),
+        p.to_string(),
+        seq.ops.to_string(),
+        pram_rep.time.to_string(),
+        format!("{pram_pred:.0}"),
+        du.report.time.to_string(),
+        format!("{du_pred:.0}"),
+        hm.report.time.to_string(),
+        format!("{hm_pred:.0}"),
+    ];
+    let ms = vec![
+        Measurement::new(
+            "table1/sum/pram",
+            params(n, 1, p, 1, 1, 1),
+            pram_rep.time,
+            pram_pred,
+        ),
+        Measurement::new(
+            "table1/sum/dmm_umm",
+            params(n, 1, p, w, l, 1),
+            du.report.time,
+            du_pred,
+        ),
+        Measurement::new(
+            "table1/sum/hmm",
+            params(n, 1, p, w, l, d),
+            hm.report.time,
+            hm_pred,
+        ),
+    ];
+    (cells, ms)
+}
+
+/// One convolution-row grid point.
+fn conv_point(
+    n: usize,
+    k: usize,
+    p: usize,
+    w: usize,
+    l: usize,
+    d: usize,
+) -> (Vec<String>, Vec<Measurement>) {
+    let a = random_words(k, k as u64, 50);
+    let b = random_words(n + k - 1, n as u64, 50);
+    let seq = reference::convolution(&a, &b);
+
+    let (pram_c, pram_rep) = pram_algos::run_convolution(&a, &b, p).expect("pram conv");
+    assert_eq!(pram_c, seq.value);
+    let pram_pred = table1::conv_pram(n, k, p.min(n));
+
+    let mut umm = Machine::umm(w, l, 2 * (n + 2 * k)).with_parallelism(Parallelism::Sequential);
+    let du = run_conv_dmm_umm(&mut umm, &a, &b, p).expect("umm conv");
+    assert_eq!(du.value, seq.value);
+    let du_pred = table1::conv_dmm_umm(params(n, k, p.min(n), w, l, 1));
+
+    let m_slice = n.div_ceil(d);
+    let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8)
+        .with_parallelism(Parallelism::Sequential);
+    let hm = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm conv");
+    assert_eq!(hm.value, seq.value);
+    let hm_pred = table1::conv_hmm(params(n, k, p, w, l, d));
+
+    let cells = vec![
+        n.to_string(),
+        k.to_string(),
+        p.to_string(),
+        seq.ops.to_string(),
+        pram_rep.time.to_string(),
+        format!("{pram_pred:.0}"),
+        du.report.time.to_string(),
+        format!("{du_pred:.0}"),
+        hm.report.time.to_string(),
+        format!("{hm_pred:.0}"),
+    ];
+    let ms = vec![
+        Measurement::new(
+            "table1/conv/pram",
+            params(n, k, p.min(n), 1, 1, 1),
+            pram_rep.time,
+            pram_pred,
+        ),
+        Measurement::new(
+            "table1/conv/dmm_umm",
+            params(n, k, p.min(n), w, l, 1),
+            du.report.time,
+            du_pred,
+        ),
+        Measurement::new(
+            "table1/conv/hmm",
+            params(n, k, p, w, l, d),
+            hm.report.time,
+            hm_pred,
+        ),
+    ];
+    (cells, ms)
+}
+
 fn main() {
     let w = 32;
     let d = 16; // GTX580 shape
     let l = 256;
+    let runner = BatchRunner::new();
 
     println!("== Table I (sum row) ==");
-    println!("machine: w = {w}, l = {l}, d = {d} (HMM)  |  time in simulated units\n");
+    println!(
+        "machine: w = {w}, l = {l}, d = {d} (HMM)  |  time in simulated units  |  {} batch threads\n",
+        runner.threads()
+    );
     header(&[
         "n", "p", "seq", "pram", "pram^", "dmm/umm", "d/u^", "hmm", "hmm^",
     ]);
 
-    let mut sum_ms: Vec<Measurement> = Vec::new();
+    let mut sum_points = Vec::new();
     for &n in &[1usize << 12, 1 << 14, 1 << 16] {
         for &p in &[512usize, 2048, 8192] {
-            let input = random_words(n, n as u64 ^ p as u64, 100);
-            let seq = reference::sum(&input);
-
-            let (_, pram_rep) = pram_algos::run_sum(&input, p).expect("pram sum");
-            let pram_pred = table1::sum_pram(n, p);
-
-            let mut umm = Machine::umm(w, l, n.next_power_of_two());
-            let du = run_sum_dmm_umm(&mut umm, &input, p).expect("umm sum");
-            assert_eq!(du.value, seq.value);
-            let du_pred = table1::sum_dmm_umm(params(n, 1, p, w, l, 1));
-
-            let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64));
-            let hm = run_sum_hmm(&mut hmm, &input, p).expect("hmm sum");
-            assert_eq!(hm.value, seq.value);
-            let hm_pred = table1::sum_hmm(params(n, 1, p, w, l, d));
-
-            row(&[
-                n.to_string(),
-                p.to_string(),
-                seq.ops.to_string(),
-                pram_rep.time.to_string(),
-                format!("{pram_pred:.0}"),
-                du.report.time.to_string(),
-                format!("{du_pred:.0}"),
-                hm.report.time.to_string(),
-                format!("{hm_pred:.0}"),
-            ]);
-            sum_ms.push(Measurement::new(
-                "table1/sum/pram",
-                params(n, 1, p, 1, 1, 1),
-                pram_rep.time,
-                pram_pred,
-            ));
-            sum_ms.push(Measurement::new(
-                "table1/sum/dmm_umm",
-                params(n, 1, p, w, l, 1),
-                du.report.time,
-                du_pred,
-            ));
-            sum_ms.push(Measurement::new(
-                "table1/sum/hmm",
-                params(n, 1, p, w, l, d),
-                hm.report.time,
-                hm_pred,
-            ));
+            sum_points.push((n, p));
         }
+    }
+    let mut sum_ms: Vec<Measurement> = Vec::new();
+    for (cells, ms) in runner.run(sum_points, |(n, p)| sum_point(n, p, w, l, d)) {
+        row(&cells);
+        sum_ms.extend(ms);
     }
     println!();
     for name in ["table1/sum/pram", "table1/sum/dmm_umm", "table1/sum/hmm"] {
@@ -96,59 +182,16 @@ fn main() {
     header(&[
         "n", "k", "p", "seq", "pram", "pram^", "dmm/umm", "d/u^", "hmm", "hmm^",
     ]);
-    let mut conv_ms: Vec<Measurement> = Vec::new();
+    let mut conv_points = Vec::new();
     for &(n, k) in &[(1usize << 12, 16usize), (1 << 12, 64), (1 << 14, 32)] {
         for &p in &[1024usize, 4096] {
-            let a = random_words(k, k as u64, 50);
-            let b = random_words(n + k - 1, n as u64, 50);
-            let seq = reference::convolution(&a, &b);
-
-            let (pram_c, pram_rep) = pram_algos::run_convolution(&a, &b, p).expect("pram conv");
-            assert_eq!(pram_c, seq.value);
-            let pram_pred = table1::conv_pram(n, k, p.min(n));
-
-            let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
-            let du = run_conv_dmm_umm(&mut umm, &a, &b, p).expect("umm conv");
-            assert_eq!(du.value, seq.value);
-            let du_pred = table1::conv_dmm_umm(params(n, k, p.min(n), w, l, 1));
-
-            let m_slice = n.div_ceil(d);
-            let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
-            let hm = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm conv");
-            assert_eq!(hm.value, seq.value);
-            let hm_pred = table1::conv_hmm(params(n, k, p, w, l, d));
-
-            row(&[
-                n.to_string(),
-                k.to_string(),
-                p.to_string(),
-                seq.ops.to_string(),
-                pram_rep.time.to_string(),
-                format!("{pram_pred:.0}"),
-                du.report.time.to_string(),
-                format!("{du_pred:.0}"),
-                hm.report.time.to_string(),
-                format!("{hm_pred:.0}"),
-            ]);
-            conv_ms.push(Measurement::new(
-                "table1/conv/pram",
-                params(n, k, p.min(n), 1, 1, 1),
-                pram_rep.time,
-                pram_pred,
-            ));
-            conv_ms.push(Measurement::new(
-                "table1/conv/dmm_umm",
-                params(n, k, p.min(n), w, l, 1),
-                du.report.time,
-                du_pred,
-            ));
-            conv_ms.push(Measurement::new(
-                "table1/conv/hmm",
-                params(n, k, p, w, l, d),
-                hm.report.time,
-                hm_pred,
-            ));
+            conv_points.push((n, k, p));
         }
+    }
+    let mut conv_ms: Vec<Measurement> = Vec::new();
+    for (cells, ms) in runner.run(conv_points, |(n, k, p)| conv_point(n, k, p, w, l, d)) {
+        row(&cells);
+        conv_ms.extend(ms);
     }
     println!();
     for name in ["table1/conv/pram", "table1/conv/dmm_umm", "table1/conv/hmm"] {

@@ -6,13 +6,17 @@
 //! terms, their sum, the measured time, and `measured / LB-total` — the
 //! empirical optimality constant the paper's theorems say is O(1).
 //!
+//! The sweep points are independent simulations and fan out over a
+//! [`BatchRunner`]; rows print in sweep order afterwards, so output is
+//! identical at any thread count.
+//!
 //! Run with `cargo run --release -p hmm-bench --bin table2`.
 
 use hmm_algorithms::convolution::hmm::shared_words;
 use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm};
 use hmm_bench::{dump, header, row, Measurement};
-use hmm_core::Machine;
+use hmm_core::{BatchRunner, Machine, Parallelism};
 use hmm_pram::algorithms as pram_algos;
 use hmm_theory::table2::LowerBound;
 use hmm_theory::{table2, Params};
@@ -26,32 +30,110 @@ fn fmt_term(t: Option<f64>) -> String {
     t.map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
 }
 
-fn print_point(
-    label: &str,
+/// A measured sweep point awaiting printing: model label, parameters,
+/// lower-bound terms and the measured simulated time.
+struct Point {
+    label: &'static str,
     pr: Params,
     lb: LowerBound,
     measured: u64,
-    valid: &mut bool,
-) -> Measurement {
-    *valid &= measured as f64 >= lb.max_term();
+}
+
+fn print_point(pt: &Point, valid: &mut bool) -> Measurement {
+    *valid &= pt.measured as f64 >= pt.lb.max_term();
     row(&[
-        label.to_string(),
-        pr.n.to_string(),
-        pr.k.to_string(),
-        pr.p.to_string(),
-        fmt_term(lb.speedup),
-        fmt_term(lb.bandwidth),
-        fmt_term(lb.latency),
-        fmt_term(lb.reduction),
-        format!("{:.0}", lb.total()),
-        measured.to_string(),
-        format!("{:.2}", measured as f64 / lb.total()),
+        pt.label.to_string(),
+        pt.pr.n.to_string(),
+        pt.pr.k.to_string(),
+        pt.pr.p.to_string(),
+        fmt_term(pt.lb.speedup),
+        fmt_term(pt.lb.bandwidth),
+        fmt_term(pt.lb.latency),
+        fmt_term(pt.lb.reduction),
+        format!("{:.0}", pt.lb.total()),
+        pt.measured.to_string(),
+        format!("{:.2}", pt.measured as f64 / pt.lb.total()),
     ]);
-    Measurement::new(&format!("table2/{label}"), pr, measured, lb.total())
+    Measurement::new(
+        &format!("table2/{}", pt.label),
+        pt.pr,
+        pt.measured,
+        pt.lb.total(),
+    )
+}
+
+/// The three sum rows (PRAM, DMM/UMM, HMM) for one `(n, p)` point.
+fn sum_rows(n: usize, p: usize, w: usize, l: usize, d: usize) -> Vec<Point> {
+    let input = random_words(n, 1, 100);
+
+    let (_, pram_rep) = pram_algos::run_sum(&input, p).expect("pram");
+    let mut umm =
+        Machine::umm(w, l, n.next_power_of_two()).with_parallelism(Parallelism::Sequential);
+    let du = run_sum_dmm_umm(&mut umm, &input, p).expect("umm");
+    let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64))
+        .with_parallelism(Parallelism::Sequential);
+    let hm = run_sum_hmm(&mut hmm, &input, p).expect("hmm");
+
+    vec![
+        Point {
+            label: "sum/pram",
+            pr: params(n, 1, p, 1, 1, 1),
+            lb: table2::sum_pram(n, p),
+            measured: pram_rep.time,
+        },
+        Point {
+            label: "sum/dmm_umm",
+            pr: params(n, 1, p, w, l, 1),
+            lb: table2::sum_dmm_umm(params(n, 1, p, w, l, 1)),
+            measured: du.report.time,
+        },
+        Point {
+            label: "sum/hmm",
+            pr: params(n, 1, p, w, l, d),
+            lb: table2::sum_hmm(params(n, 1, p, w, l, d)),
+            measured: hm.report.time,
+        },
+    ]
+}
+
+/// The three convolution rows for one `(n, k, p)` point.
+fn conv_rows(n: usize, k: usize, p: usize, w: usize, l: usize, d: usize) -> Vec<Point> {
+    let a = random_words(k, 2, 50);
+    let b = random_words(n + k - 1, 3, 50);
+
+    let (_, pram_rep) = pram_algos::run_convolution(&a, &b, p).expect("pram");
+    let mut umm = Machine::umm(w, l, 2 * (n + 2 * k)).with_parallelism(Parallelism::Sequential);
+    let du = run_conv_dmm_umm(&mut umm, &a, &b, p).expect("umm");
+    let m_slice = n.div_ceil(d);
+    let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8)
+        .with_parallelism(Parallelism::Sequential);
+    let hm = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm");
+
+    vec![
+        Point {
+            label: "conv/pram",
+            pr: params(n, k, p.min(n), 1, 1, 1),
+            lb: table2::conv_pram(n, k, p.min(n)),
+            measured: pram_rep.time,
+        },
+        Point {
+            label: "conv/dmm_umm",
+            pr: params(n, k, p.min(n), w, l, 1),
+            lb: table2::conv_dmm_umm(params(n, k, p.min(n), w, l, 1)),
+            measured: du.report.time,
+        },
+        Point {
+            label: "conv/hmm",
+            pr: params(n, k, p, w, l, d),
+            lb: table2::conv_hmm(params(n, k, p, w, l, d)),
+            measured: hm.report.time,
+        },
+    ]
 }
 
 fn main() {
     let (w, l, d) = (32usize, 256usize, 16usize);
+    let runner = BatchRunner::new();
     println!("== Table II: lower-bound limitations vs measured time ==");
     println!("machine: w = {w}, l = {l}, d = {d}\n");
     header(&[
@@ -71,78 +153,18 @@ fn main() {
     let mut ms = Vec::new();
     let mut valid = true;
 
-    // --- Sum ---------------------------------------------------------------
-    for &(n, p) in &[(1usize << 14, 2048usize), (1 << 16, 8192)] {
-        let input = random_words(n, 1, 100);
-
-        let (_, pram_rep) = pram_algos::run_sum(&input, p).expect("pram");
-        ms.push(print_point(
-            "sum/pram",
-            params(n, 1, p, 1, 1, 1),
-            table2::sum_pram(n, p),
-            pram_rep.time,
-            &mut valid,
-        ));
-
-        let mut umm = Machine::umm(w, l, n.next_power_of_two());
-        let du = run_sum_dmm_umm(&mut umm, &input, p).expect("umm");
-        let pr = params(n, 1, p, w, l, 1);
-        ms.push(print_point(
-            "sum/dmm_umm",
-            pr,
-            table2::sum_dmm_umm(pr),
-            du.report.time,
-            &mut valid,
-        ));
-
-        let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64));
-        let hm = run_sum_hmm(&mut hmm, &input, p).expect("hmm");
-        let pr = params(n, 1, p, w, l, d);
-        ms.push(print_point(
-            "sum/hmm",
-            pr,
-            table2::sum_hmm(pr),
-            hm.report.time,
-            &mut valid,
-        ));
+    let sum_points = vec![(1usize << 14, 2048usize), (1 << 16, 8192)];
+    for points in runner.run(sum_points, |(n, p)| sum_rows(n, p, w, l, d)) {
+        for pt in &points {
+            ms.push(print_point(pt, &mut valid));
+        }
     }
 
-    // --- Direct convolution --------------------------------------------------
-    for &(n, k, p) in &[(1usize << 12, 32usize, 2048usize), (1 << 14, 64, 4096)] {
-        let a = random_words(k, 2, 50);
-        let b = random_words(n + k - 1, 3, 50);
-
-        let (_, pram_rep) = pram_algos::run_convolution(&a, &b, p).expect("pram");
-        ms.push(print_point(
-            "conv/pram",
-            params(n, k, p.min(n), 1, 1, 1),
-            table2::conv_pram(n, k, p.min(n)),
-            pram_rep.time,
-            &mut valid,
-        ));
-
-        let mut umm = Machine::umm(w, l, 2 * (n + 2 * k));
-        let du = run_conv_dmm_umm(&mut umm, &a, &b, p).expect("umm");
-        let pr = params(n, k, p.min(n), w, l, 1);
-        ms.push(print_point(
-            "conv/dmm_umm",
-            pr,
-            table2::conv_dmm_umm(pr),
-            du.report.time,
-            &mut valid,
-        ));
-
-        let m_slice = n.div_ceil(d);
-        let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8);
-        let hm = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm");
-        let pr = params(n, k, p, w, l, d);
-        ms.push(print_point(
-            "conv/hmm",
-            pr,
-            table2::conv_hmm(pr),
-            hm.report.time,
-            &mut valid,
-        ));
+    let conv_points = vec![(1usize << 12, 32usize, 2048usize), (1 << 14, 64, 4096)];
+    for points in runner.run(conv_points, |(n, k, p)| conv_rows(n, k, p, w, l, d)) {
+        for pt in &points {
+            ms.push(print_point(pt, &mut valid));
+        }
     }
 
     // Validity: measured time must dominate every individual limitation.

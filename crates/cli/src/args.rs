@@ -111,6 +111,17 @@ impl Args {
         self.switches.iter().any(|s| s == key)
     }
 
+    /// Set (or override) a `--key value` pair — used by the `batch`
+    /// command to derive one sub-command line per sweep point.
+    pub fn set(&mut self, key: &str, value: impl Into<String>) {
+        self.values.insert(key.to_string(), value.into());
+    }
+
+    /// Remove a `--key value` pair, returning whether it was present.
+    pub fn unset(&mut self, key: &str) -> bool {
+        self.values.remove(key).is_some()
+    }
+
     /// Validate a choice flag against allowed words.
     ///
     /// # Errors

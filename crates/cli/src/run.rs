@@ -5,7 +5,7 @@ use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_algorithms::prefix::{prefix_shared_words, run_prefix_dmm_umm, run_prefix_hmm};
 use hmm_algorithms::reduce::{run_reduce_dmm_umm, run_reduce_hmm, ReduceOp};
 use hmm_algorithms::sort::{run_sort_hmm, run_sort_umm};
-use hmm_core::{presets, Machine};
+use hmm_core::{presets, BatchRunner, Machine, Parallelism};
 use hmm_machine::SimReport;
 use hmm_workloads::random_words;
 
@@ -22,6 +22,8 @@ pub struct Outcome {
     pub report: Option<SimReport>,
     /// JSON payload for `lint` runs (None for simulation commands).
     pub lint: Option<hmm_util::Value>,
+    /// JSON payload for `batch` runs: one entry per sweep point.
+    pub batch: Option<hmm_util::Value>,
     /// Whether lint found error-severity diagnostics; the binary exits
     /// with status 2 when set.
     pub lint_failed: bool,
@@ -45,7 +47,7 @@ impl std::fmt::Display for CliError {
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
             CliError::UnknownCommand(c) => write!(
                 f,
-                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, lint, info)"
+                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, batch, lint, info)"
             ),
         }
     }
@@ -74,6 +76,7 @@ struct MachineSpec {
     l: usize,
     d: usize,
     seed: u64,
+    threads: usize,
 }
 
 fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
@@ -87,15 +90,23 @@ fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
         l: a.get_usize("l", 256)?,
         d: a.get_usize("d", 16)?,
         seed: a.get_u64("seed", 1)?,
+        threads: a.get_usize("threads", 0)?,
     })
 }
 
 impl MachineSpec {
     fn build(&self, global: usize, shared: usize) -> Machine {
-        match self.kind.as_str() {
+        let m = match self.kind.as_str() {
             "dmm" => Machine::dmm(self.w, self.l, global),
             "umm" => Machine::umm(self.w, self.l, global),
             _ => Machine::hmm(self.d, self.w, self.l, global, shared),
+        };
+        // --threads 0 (the default) keeps the engine's automatic policy
+        // (HMM_THREADS env, else hardware threads); any explicit count
+        // pins the worker pool, with 1 selecting the sequential driver.
+        match self.threads {
+            0 => m,
+            n => m.with_parallelism(Parallelism::Threads(n)),
         }
     }
 
@@ -225,6 +236,7 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                 ..Outcome::default()
             })
         }
+        "batch" => run_batch(a),
         "lint" => {
             let lint = crate::lint::execute(a)?;
             Ok(Outcome {
@@ -238,12 +250,101 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
     }
 }
 
+/// The sweep points for `batch`: an explicit `--values a,b,c` list, or a
+/// doubling ladder from `--from` to `--to`.
+fn sweep_values(a: &Args) -> Result<Vec<usize>, CliError> {
+    let raw = a.get_str("values", "");
+    if !raw.is_empty() {
+        return raw
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse()
+                    .map_err(|_| ParseError::BadNumber("values".into(), tok.to_string()).into())
+            })
+            .collect();
+    }
+    let from = a.get_usize("from", 256)?.max(1);
+    let to = a.get_usize("to", 4096)?;
+    let mut values = Vec::new();
+    let mut v = from;
+    while v <= to {
+        values.push(v);
+        v *= 2;
+    }
+    if values.is_empty() {
+        values.push(from);
+    }
+    Ok(values)
+}
+
+/// The `batch` command: sweep one flag of a simulation command across a
+/// list of values, fanning the independent runs out over a
+/// [`BatchRunner`]. Each job steps its machine sequentially — with many
+/// simulations in flight, one job per core beats nested worker pools.
+fn run_batch(a: &Args) -> Result<Outcome, CliError> {
+    let cmd = a.get_choice("cmd", "sum", &["sum", "reduce", "conv", "prefix", "sort"])?;
+    let key = a.get_choice("sweep", "n", &["n", "k", "p", "w", "l", "d"])?;
+    let values = sweep_values(a)?;
+    let threads = a.get_usize("threads", 0)?;
+    let runner = if threads == 0 {
+        BatchRunner::new()
+    } else {
+        BatchRunner::with_threads(threads)
+    };
+    let jobs: Vec<Args> = values
+        .iter()
+        .map(|&v| {
+            let mut sub = a.clone();
+            sub.command.clone_from(&cmd);
+            sub.set(&key, v.to_string());
+            sub.set("threads", "1");
+            sub
+        })
+        .collect();
+    let results = runner.run(jobs, |sub| execute(&sub));
+
+    let mut summary = format!(
+        "batch {cmd}: sweep --{key} over {} points, {} batch threads",
+        values.len(),
+        runner.threads()
+    );
+    let mut rows = Vec::new();
+    for (&v, res) in values.iter().zip(results) {
+        let o = res?;
+        let _ = write!(summary, "\n  --{key} {v}: {}", o.summary);
+        rows.push(hmm_util::Value::object(vec![
+            (key.as_str(), v.into()),
+            ("summary", o.summary.as_str().into()),
+            (
+                "report",
+                o.report
+                    .as_ref()
+                    .map_or(hmm_util::Value::Null, SimReport::to_json),
+            ),
+        ]));
+    }
+    Ok(Outcome {
+        summary,
+        batch: Some(hmm_util::Value::object(vec![
+            ("command", cmd.as_str().into()),
+            ("sweep", key.as_str().into()),
+            ("threads", runner.threads().into()),
+            ("points", hmm_util::Value::Array(rows)),
+        ])),
+        ..Outcome::default()
+    })
+}
+
 /// Render an outcome as text or JSON.
 #[must_use]
 pub fn render(outcome: &Outcome, json: bool) -> String {
     if json {
         if let Some(lint) = &outcome.lint {
             return lint.to_json_pretty();
+        }
+        if let Some(batch) = &outcome.batch {
+            return batch.to_json_pretty();
         }
         let report = outcome
             .report
@@ -320,6 +421,52 @@ mod tests {
             let o = run_line(cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"));
             assert!(o.report.is_some(), "{cmd}");
         }
+    }
+
+    #[test]
+    fn threads_flag_accepted_on_all_commands() {
+        // Simulated results must be identical at every worker count.
+        let base = run_line("sum --machine hmm --n 256 --p 64 --w 8 --l 8 --d 4 --threads 1")
+            .unwrap()
+            .report
+            .unwrap();
+        for threads in [2, 4] {
+            let o = run_line(&format!(
+                "sum --machine hmm --n 256 --p 64 --w 8 --l 8 --d 4 --threads {threads}"
+            ))
+            .unwrap();
+            assert_eq!(o.report.unwrap(), base, "--threads {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_sweeps_values_in_order() {
+        let o = run_line(
+            "batch --cmd sum --sweep n --values 128,256 --p 32 --w 8 --l 8 --d 4 --threads 2",
+        )
+        .unwrap();
+        assert!(o.summary.contains("--n 128"));
+        assert!(o.summary.contains("--n 256"));
+        let batch = o.batch.expect("batch JSON");
+        let points = match &batch["points"] {
+            hmm_util::Value::Array(rows) => rows,
+            other => panic!("points not an array: {other:?}"),
+        };
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0]["n"].as_u64(), Some(128));
+        assert_eq!(points[1]["n"].as_u64(), Some(256));
+        assert!(points[0]["report"]["time"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn batch_doubling_ladder_and_bad_values() {
+        let o = run_line("batch --cmd sort --from 32 --to 64 --p 16 --w 4 --l 4 --d 2").unwrap();
+        assert!(o.summary.contains("--n 32"));
+        assert!(o.summary.contains("--n 64"));
+        assert!(matches!(
+            run_line("batch --values 1,two"),
+            Err(CliError::Parse(ParseError::BadNumber(..)))
+        ));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Fan independent kernel configurations out over worker threads.
+//!
+//! Parameter sweeps, the Table I/II reproductions and the CLI's `batch`
+//! command all run many **independent** simulations — different machine
+//! shapes, different inputs, the same kernel at many sizes. Each job
+//! builds its own [`crate::Machine`], so jobs share no state and the
+//! fan-out is embarrassingly parallel; results return in job order, so
+//! every derived artefact is identical at any thread count.
+//!
+//! Engine-level parallelism ([`Parallelism`] on the machine config) and
+//! batch-level parallelism compose but contend for the same cores; batch
+//! jobs therefore default their machines to sequential stepping unless
+//! the caller opts out — one simulation per core beats `d` worker
+//! threads per simulation when there are many simulations.
+
+use hmm_machine::Parallelism;
+use hmm_util::parallel_map;
+
+/// Runs a batch of independent jobs on up to `threads` worker threads,
+/// preserving job order in the results.
+///
+/// ```
+/// use hmm_core::{BatchRunner, Machine, Kernel, LaunchShape};
+/// use hmm_machine::{abi, Asm};
+///
+/// let mut a = Asm::new();
+/// a.st_global(abi::GID, 0, abi::GID);
+/// a.halt();
+/// let kernel = Kernel::new("store-gid", a.finish());
+///
+/// let times: Vec<u64> = BatchRunner::new()
+///     .run(vec![4usize, 8, 16], |p| {
+///         let mut m = Machine::hmm(2, 4, 10, 64, 32);
+///         m.launch(&kernel, LaunchShape::Even(p)).unwrap().time
+///     });
+/// assert_eq!(times.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner with the automatic thread policy: the `HMM_THREADS`
+    /// environment variable if set, else one worker per hardware thread.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            threads: Parallelism::Auto.workers(usize::MAX),
+        }
+    }
+
+    /// A runner that executes jobs one at a time on the calling thread.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A runner with exactly `n` worker threads (`0` behaves like `1`).
+    #[must_use]
+    pub fn with_threads(n: usize) -> Self {
+        Self { threads: n.max(1) }
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every job, fanning out across the configured worker
+    /// threads, and return the results **in job order**.
+    pub fn run<T, R, F>(&self, jobs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_map(jobs, self.threads, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kernel, LaunchShape, Machine};
+    use hmm_machine::{abi, Asm};
+
+    fn store_gid() -> Kernel {
+        let mut a = Asm::new();
+        a.st_global(abi::GID, 0, abi::GID);
+        a.halt();
+        Kernel::new("store-gid", a.finish())
+    }
+
+    #[test]
+    fn batch_results_are_order_stable_across_thread_counts() {
+        let kernel = store_gid();
+        let job = |p: usize| {
+            let mut m = Machine::hmm(2, 4, 10, 256, 64).with_parallelism(Parallelism::Sequential);
+            m.launch(&kernel, LaunchShape::Even(p)).unwrap()
+        };
+        let ps: Vec<usize> = vec![4, 8, 12, 16, 24, 32];
+        let seq: Vec<_> = BatchRunner::sequential().run(ps.clone(), job);
+        for threads in [2, 4, 8] {
+            let par = BatchRunner::with_threads(threads).run(ps.clone(), job);
+            assert_eq!(par, seq, "batch at {threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn constructors_expose_thread_counts() {
+        assert_eq!(BatchRunner::sequential().threads(), 1);
+        assert_eq!(BatchRunner::with_threads(3).threads(), 3);
+        assert_eq!(BatchRunner::with_threads(0).threads(), 1);
+        assert!(BatchRunner::new().threads() >= 1);
+        assert!(BatchRunner::default().threads() >= 1);
+    }
+}

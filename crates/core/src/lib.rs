@@ -40,9 +40,11 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod machine;
 pub mod presets;
 
-pub use hmm_machine::{abi, Asm, Program, SimError, SimReport, SimResult, Word};
+pub use batch::BatchRunner;
+pub use hmm_machine::{abi, Asm, Parallelism, Program, SimError, SimReport, SimResult, Word};
 pub use machine::{Kernel, LaunchShape, Machine, ModelKind};
 pub use presets::MachineParams;

@@ -2,7 +2,7 @@
 
 use hmm_machine::trace::Trace;
 use hmm_machine::{
-    Engine, EngineConfig, LaunchSpec, Program, SimError, SimReport, SimResult, Word,
+    Engine, EngineConfig, LaunchSpec, Parallelism, Program, SimError, SimReport, SimResult, Word,
 };
 
 /// Which of the paper's three models a [`Machine`] instantiates.
@@ -241,6 +241,21 @@ impl Machine {
         cfg.max_cycles = limit;
         self.engine = Engine::new(cfg).expect("config was already valid");
         self
+    }
+
+    /// Set the worker-thread policy for stepping this machine's DMM
+    /// shards (builder style). Results are bit-identical at every
+    /// setting; only wall-clock time changes. Memory contents are kept.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.engine.set_parallelism(parallelism);
+        self
+    }
+
+    /// Set the worker-thread policy in place (see
+    /// [`Machine::with_parallelism`]).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.engine.set_parallelism(parallelism);
     }
 
     /// Launch `kernel` with the given thread distribution and simulate it

@@ -2,8 +2,10 @@
 //! paper uses to justify its parameter ranges (Section III).
 
 use crate::machine::Machine;
+use hmm_machine::Parallelism;
 
-/// The `(d, w, l)` triple that parameterises an HMM, plus memory sizes.
+/// The `(d, w, l)` triple that parameterises an HMM, plus memory sizes
+/// and the worker-thread policy of the instantiated engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineParams {
     /// Number of DMMs (streaming multiprocessors).
@@ -16,6 +18,10 @@ pub struct MachineParams {
     pub global_size: usize,
     /// Shared memory capacity per DMM in words.
     pub shared_size: usize,
+    /// Worker-thread policy for machines built from these parameters.
+    /// Purely a wall-clock knob: simulated results are identical at
+    /// every setting.
+    pub parallelism: Parallelism,
 }
 
 impl MachineParams {
@@ -23,18 +29,26 @@ impl MachineParams {
     #[must_use]
     pub fn hmm(&self) -> Machine {
         Machine::hmm(self.d, self.w, self.l, self.global_size, self.shared_size)
+            .with_parallelism(self.parallelism)
     }
 
     /// Instantiate a standalone DMM (one banked memory of `global_size`).
     #[must_use]
     pub fn dmm(&self) -> Machine {
-        Machine::dmm(self.w, self.l, self.global_size)
+        Machine::dmm(self.w, self.l, self.global_size).with_parallelism(self.parallelism)
     }
 
     /// Instantiate a standalone UMM.
     #[must_use]
     pub fn umm(&self) -> Machine {
-        Machine::umm(self.w, self.l, self.global_size)
+        Machine::umm(self.w, self.l, self.global_size).with_parallelism(self.parallelism)
+    }
+
+    /// Override the worker-thread policy (builder style).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Override the global memory capacity (builder style).
@@ -66,6 +80,7 @@ pub fn gtx580() -> MachineParams {
         l: 400,
         global_size: 1 << 22,
         shared_size: 12 * 1024,
+        parallelism: Parallelism::Auto,
     }
 }
 
@@ -78,6 +93,7 @@ pub fn tiny() -> MachineParams {
         l: 8,
         global_size: 1 << 12,
         shared_size: 1 << 10,
+        parallelism: Parallelism::Auto,
     }
 }
 
@@ -91,6 +107,7 @@ pub fn medium() -> MachineParams {
         l: 64,
         global_size: 1 << 18,
         shared_size: 1 << 14,
+        parallelism: Parallelism::Auto,
     }
 }
 

@@ -34,17 +34,64 @@
 //! `hmm-algorithms::contiguous` for the measured reproduction of Lemma 1
 //! and Theorem 2.
 
-use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 use crate::abi;
 use crate::bank::BankedMemory;
 use crate::error::{SimError, SimResult};
-use crate::isa::{Program, Reg, Scope, Space};
-use crate::request::{AccessKind, ConflictPolicy, Request, SlotSchedule};
+use crate::exec;
+use crate::isa::Program;
+use crate::request::ConflictPolicy;
 use crate::stats::SimReport;
-use crate::trace::{MemoryId, Trace, TraceEvent};
-use crate::vm::{step, StepEffect, ThreadState};
+use crate::trace::Trace;
 use crate::word::Word;
+
+/// How many worker threads step the DMM shards of a launch.
+///
+/// Every setting produces **bit-identical** results — reports, traces,
+/// race logs — because cross-DMM traffic merges in a canonical order (see
+/// `DESIGN.md`). The knob only changes wall-clock speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use the `HMM_THREADS` environment variable if set, else one worker
+    /// per available hardware thread (capped at the DMM count).
+    #[default]
+    Auto,
+    /// Single-threaded stepping — the oracle the differential tests
+    /// compare against.
+    Sequential,
+    /// Exactly this many worker threads (capped at the DMM count; `0`
+    /// behaves like `1`).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The effective worker count for a machine with `dmms` DMMs.
+    #[must_use]
+    pub fn workers(self, dmms: usize) -> usize {
+        let n = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => auto_workers(),
+        };
+        n.clamp(1, dmms.max(1))
+    }
+}
+
+/// `HMM_THREADS` if set to a positive integer, else the machine's
+/// available parallelism. Read once per process.
+fn auto_workers() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("HMM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    })
+}
 
 /// Static description of a machine.
 #[derive(Debug, Clone)]
@@ -78,6 +125,9 @@ pub struct EngineConfig {
     pub max_cycles: u64,
     /// Record a [`Trace`] of dispatches/completions/barriers.
     pub trace: bool,
+    /// Worker-thread policy for stepping the DMM shards. Results are
+    /// identical at every setting; only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl EngineConfig {
@@ -98,6 +148,7 @@ impl EngineConfig {
             barrier_cost: 0,
             max_cycles: u64::MAX,
             trace: false,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -135,6 +186,27 @@ impl EngineConfig {
             barrier_cost: 0,
             max_cycles: u64::MAX,
             trace: false,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// This configuration with single-threaded stepping — the oracle the
+    /// parallel engine is differentially tested against.
+    #[must_use]
+    pub fn sequential(self) -> Self {
+        Self {
+            parallelism: Parallelism::Sequential,
+            ..self
+        }
+    }
+
+    /// This configuration with exactly `n` worker threads (capped at the
+    /// DMM count at run time).
+    #[must_use]
+    pub fn with_threads(self, n: usize) -> Self {
+        Self {
+            parallelism: Parallelism::Threads(n),
+            ..self
         }
     }
 
@@ -196,89 +268,6 @@ impl LaunchSpec {
     #[must_use]
     pub fn total_threads(&self) -> usize {
         self.threads_per_dmm.iter().sum()
-    }
-}
-
-/// Identifies one memory during simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MemIdx {
-    Global,
-    Shared(usize),
-}
-
-impl MemIdx {
-    fn id(self) -> MemoryId {
-        match self {
-            MemIdx::Global => MemoryId::Global,
-            MemIdx::Shared(d) => MemoryId::Shared(d),
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    Runnable,
-    /// Issued a memory request that has not yet been assembled.
-    Posted,
-    /// Request dispatched or queued; waiting for completion.
-    InFlight,
-    BarrierWait(Scope),
-    Halted,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Posted {
-    space: Space,
-    addr: usize,
-    kind: AccessKind,
-    dst: Option<Reg>,
-    value: Word,
-}
-
-struct ThreadRt {
-    state: ThreadState,
-    status: Status,
-    dmm: usize,
-    pending: Option<Posted>,
-}
-
-struct WarpRt {
-    threads: Vec<usize>,
-    dmm: usize,
-    runnable: usize,
-    posted: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Completion {
-    thread: usize,
-    dst: Option<Reg>,
-    value: Word,
-}
-
-struct Txn {
-    warp: usize,
-    requests: Vec<Request>,
-    dsts: Vec<Option<Reg>>,
-    schedule: SlotSchedule,
-    next_slot: usize,
-}
-
-struct MemRt {
-    idx: MemIdx,
-    latency: u64,
-    policy: ConflictPolicy,
-    queue: VecDeque<Txn>,
-    current: Option<Txn>,
-    /// (`resume_time`, completions); resume times are non-decreasing.
-    completions: VecDeque<(u64, Vec<Completion>)>,
-    /// For the non-pipelined ablation: no dispatch before this time.
-    busy_until: u64,
-}
-
-impl MemRt {
-    fn has_work(&self) -> bool {
-        self.current.is_some() || !self.queue.is_empty()
     }
 }
 
@@ -383,14 +372,20 @@ impl Engine {
         std::mem::take(&mut self.races)
     }
 
+    /// Override the worker-thread policy of an existing machine.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.cfg.parallelism = parallelism;
+    }
+
     /// Simulate one kernel launch to completion.
+    ///
+    /// Stepping is sharded per DMM and may run on worker threads
+    /// (see [`Parallelism`]); the result is bit-identical at every
+    /// worker count.
     ///
     /// # Errors
     /// Propagates any [`SimError`] raised during simulation (bad address,
     /// deadlock, cycle limit, ...).
-    // The warp loops below index `warps` and `threads` side by side; an
-    // iterator form would fight the borrow checker for no clarity gain.
-    #[allow(clippy::too_many_lines, clippy::needless_range_loop)]
     pub fn run(&mut self, spec: &LaunchSpec) -> SimResult<SimReport> {
         if spec.threads_per_dmm.len() != self.cfg.dmms {
             return Err(SimError::BadLaunch(format!(
@@ -411,512 +406,9 @@ impl Engine {
             )));
         }
 
-        let mut trace = if self.cfg.trace {
-            Some(Trace::new())
-        } else {
-            None
-        };
-
-        // ---- build threads and warps ------------------------------------
-        let w = self.cfg.width;
-        let mut threads: Vec<ThreadRt> = Vec::with_capacity(p);
-        let mut warps: Vec<WarpRt> = Vec::new();
-        let mut thread_warp: Vec<usize> = Vec::with_capacity(p);
-        let mut alive_per_dmm = vec![0usize; self.cfg.dmms];
-        {
-            let mut gid = 0usize;
-            for (d, &pd) in spec.threads_per_dmm.iter().enumerate() {
-                alive_per_dmm[d] = pd;
-                for chunk_start in (0..pd).step_by(w) {
-                    let chunk = chunk_start..(chunk_start + w).min(pd);
-                    let warp_id = warps.len();
-                    let mut members = Vec::with_capacity(chunk.len());
-                    for ltid in chunk {
-                        let mut st = ThreadState::new(gid);
-                        st.set_reg(abi::GID, gid as Word);
-                        st.set_reg(abi::DMM, d as Word);
-                        st.set_reg(abi::LTID, ltid as Word);
-                        st.set_reg(abi::P, p as Word);
-                        st.set_reg(abi::PD, pd as Word);
-                        st.set_reg(abi::W, w as Word);
-                        st.set_reg(abi::D, self.cfg.dmms as Word);
-                        st.set_reg(abi::L, self.cfg.global_latency as Word);
-                        for (i, &a) in spec.args.iter().enumerate() {
-                            st.set_reg(abi::arg(i), a);
-                        }
-                        threads.push(ThreadRt {
-                            state: st,
-                            status: Status::Runnable,
-                            dmm: d,
-                            pending: None,
-                        });
-                        members.push(gid);
-                        thread_warp.push(warp_id);
-                        gid += 1;
-                    }
-                    let len = members.len();
-                    warps.push(WarpRt {
-                        threads: members,
-                        dmm: d,
-                        runnable: len,
-                        posted: 0,
-                    });
-                }
-            }
-        }
-
-        // ---- memories ----------------------------------------------------
-        let mut mems: Vec<MemRt> = Vec::with_capacity(1 + self.cfg.dmms);
-        mems.push(MemRt {
-            idx: MemIdx::Global,
-            latency: self.cfg.global_latency as u64,
-            policy: self.cfg.global_policy,
-            queue: VecDeque::new(),
-            current: None,
-            completions: VecDeque::new(),
-            busy_until: 0,
-        });
-        let has_shared = self.cfg.shared_size > 0;
-        if has_shared {
-            for d in 0..self.cfg.dmms {
-                mems.push(MemRt {
-                    idx: MemIdx::Shared(d),
-                    latency: self.cfg.shared_latency as u64,
-                    policy: self.cfg.shared_policy,
-                    queue: VecDeque::new(),
-                    current: None,
-                    completions: VecDeque::new(),
-                    busy_until: 0,
-                });
-            }
-        }
-        // Memory index for a (space, dmm) pair.
-        let mem_for = |space: Space, dmm: usize| -> SimResult<usize> {
-            match space {
-                Space::Global => Ok(0),
-                Space::Shared if has_shared => Ok(1 + dmm),
-                Space::Shared => Err(SimError::NoSharedMemory),
-            }
-        };
-
-        // ---- barrier + liveness bookkeeping ------------------------------
-        let mut alive = p;
-        let mut bar_global = 0usize;
-        let mut bar_dmm = vec![0usize; self.cfg.dmms];
-        // Debug-build dynamic race checker: for each DMM, the last access
-        // to each shared address within the current barrier interval.
-        // Entries are (interval, warp, saw_a_write); intervals advance on
-        // every barrier release, which is sound because a thread blocks on
-        // its in-flight access before it can reach a barrier.
-        let race_check = cfg!(debug_assertions);
-        let mut race_interval: Vec<u64> = vec![0; self.cfg.dmms];
-        let mut race_last: Vec<HashMap<usize, (u64, usize, bool)>> =
-            vec![HashMap::new(); self.cfg.dmms];
-        let mut races: Vec<DynamicRace> = Vec::new();
-        let mut report = SimReport {
-            threads: p,
-            ..SimReport::default()
-        };
-        if has_shared {
-            report.shared_per_dmm = vec![crate::stats::MemoryStats::default(); self.cfg.dmms];
-        }
-        // Barrier releases delayed by the configured synchronisation cost.
-        let mut pending_releases: Vec<(u64, Vec<usize>)> = Vec::new();
-
-        // Warps with at least one runnable thread, kept sorted for
-        // deterministic execution order.
-        let mut active: Vec<bool> = warps.iter().map(|wp| wp.runnable > 0).collect();
-
-        let mut now: u64 = 0;
-        let mut finish_time: u64 = 0;
-
-        while alive > 0 {
-            if now >= self.cfg.max_cycles {
-                return Err(SimError::CycleLimit {
-                    limit: self.cfg.max_cycles,
-                });
-            }
-
-            // Phase 1: deliver completions whose resume time has arrived,
-            // and any barrier releases whose synchronisation cost elapsed.
-            pending_releases.retain(|(t, tids)| {
-                if *t <= now {
-                    for &tid in tids {
-                        threads[tid].status = Status::Runnable;
-                        let wid = thread_warp[tid];
-                        warps[wid].runnable += 1;
-                        active[wid] = true;
-                    }
-                    false
-                } else {
-                    true
-                }
-            });
-            for mem in &mut mems {
-                while mem.completions.front().is_some_and(|(t, _)| *t <= now) {
-                    let (_, items) = mem.completions.pop_front().expect("front checked");
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push(TraceEvent::SlotCompleted {
-                            cycle: now,
-                            memory: mem.idx.id(),
-                            warp: thread_warp[items[0].thread],
-                            threads: items.iter().map(|c| c.thread).collect(),
-                        });
-                    }
-                    for c in items {
-                        let t = &mut threads[c.thread];
-                        if let Some(dst) = c.dst {
-                            t.state.set_reg(dst, c.value);
-                        }
-                        debug_assert_eq!(t.status, Status::InFlight);
-                        t.status = Status::Runnable;
-                        let wid = thread_warp[c.thread];
-                        warps[wid].runnable += 1;
-                        active[wid] = true;
-                    }
-                }
-            }
-
-            // Phase 2: every runnable thread executes one instruction.
-            for wid in 0..warps.len() {
-                if !active[wid] {
-                    continue;
-                }
-                // Collect thread ids first to satisfy the borrow checker.
-                for ti in 0..warps[wid].threads.len() {
-                    let tid = warps[wid].threads[ti];
-                    if threads[tid].status != Status::Runnable {
-                        continue;
-                    }
-                    let effect = step(&mut threads[tid].state, &spec.program)?;
-                    report.instructions += 1;
-                    match effect {
-                        StepEffect::Local => {}
-                        StepEffect::Load { dst, space, addr } => {
-                            threads[tid].pending = Some(Posted {
-                                space,
-                                addr,
-                                kind: AccessKind::Read,
-                                dst: Some(dst),
-                                value: 0,
-                            });
-                            threads[tid].status = Status::Posted;
-                            warps[wid].runnable -= 1;
-                            warps[wid].posted += 1;
-                        }
-                        StepEffect::Store { space, addr, value } => {
-                            threads[tid].pending = Some(Posted {
-                                space,
-                                addr,
-                                kind: AccessKind::Write,
-                                dst: None,
-                                value,
-                            });
-                            threads[tid].status = Status::Posted;
-                            warps[wid].runnable -= 1;
-                            warps[wid].posted += 1;
-                        }
-                        StepEffect::Barrier(scope) => {
-                            threads[tid].status = Status::BarrierWait(scope);
-                            warps[wid].runnable -= 1;
-                            match scope {
-                                Scope::Global => bar_global += 1,
-                                Scope::Dmm => bar_dmm[warps[wid].dmm] += 1,
-                            }
-                        }
-                        StepEffect::Halt => {
-                            threads[tid].status = Status::Halted;
-                            warps[wid].runnable -= 1;
-                            alive -= 1;
-                            alive_per_dmm[threads[tid].dmm] -= 1;
-                            finish_time = now + 1;
-                        }
-                    }
-                }
-                if warps[wid].runnable == 0 {
-                    active[wid] = false;
-                }
-            }
-
-            // Phase 3: release barriers whose whole scope has arrived.
-            for d in 0..self.cfg.dmms {
-                if bar_dmm[d] > 0 && bar_dmm[d] == alive_per_dmm[d] {
-                    Self::release_barrier(
-                        &mut threads,
-                        &mut warps,
-                        &mut active,
-                        &thread_warp,
-                        self.cfg.barrier_cost,
-                        now,
-                        &mut pending_releases,
-                        |t| t.dmm == d && t.status == Status::BarrierWait(Scope::Dmm),
-                    );
-                    report.barriers += 1;
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push(TraceEvent::BarrierReleased {
-                            cycle: now,
-                            dmm: Some(d),
-                            threads: bar_dmm[d],
-                        });
-                    }
-                    bar_dmm[d] = 0;
-                    race_interval[d] += 1;
-                }
-            }
-            if bar_global > 0 && bar_global == alive {
-                Self::release_barrier(
-                    &mut threads,
-                    &mut warps,
-                    &mut active,
-                    &thread_warp,
-                    self.cfg.barrier_cost,
-                    now,
-                    &mut pending_releases,
-                    |t| t.status == Status::BarrierWait(Scope::Global),
-                );
-                report.barriers += 1;
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(TraceEvent::BarrierReleased {
-                        cycle: now,
-                        dmm: None,
-                        threads: bar_global,
-                    });
-                }
-                bar_global = 0;
-                for iv in &mut race_interval {
-                    *iv += 1;
-                }
-            }
-
-            // Phase 4: assemble warp transactions (SIMD lockstep: a warp's
-            // requests go to memory once none of its threads can advance
-            // without one).
-            for wid in 0..warps.len() {
-                if warps[wid].posted == 0 || warps[wid].runnable > 0 {
-                    continue;
-                }
-                // Group the posted requests per target memory.
-                let dmm = warps[wid].dmm;
-                let mut groups: Vec<(usize, Vec<Request>, Vec<Option<Reg>>)> = Vec::new();
-                for ti in 0..warps[wid].threads.len() {
-                    let tid = warps[wid].threads[ti];
-                    if threads[tid].status != Status::Posted {
-                        continue;
-                    }
-                    let posted = threads[tid].pending.take().expect("posted thread");
-                    let mi = mem_for(posted.space, dmm)?;
-                    let size = match mems[mi].idx {
-                        MemIdx::Global => self.global.len(),
-                        MemIdx::Shared(d) => self.shared[d].len(),
-                    };
-                    if posted.addr >= size {
-                        return Err(SimError::OutOfBounds {
-                            thread: tid,
-                            space: posted.space,
-                            addr: posted.addr,
-                            size,
-                        });
-                    }
-                    let entry = if let Some(i) = groups.iter().position(|(m, _, _)| *m == mi) {
-                        &mut groups[i]
-                    } else {
-                        groups.push((mi, Vec::new(), Vec::new()));
-                        groups.last_mut().expect("just pushed")
-                    };
-                    entry.1.push(Request {
-                        thread: tid,
-                        addr: posted.addr,
-                        kind: posted.kind,
-                        value: posted.value,
-                    });
-                    entry.2.push(posted.dst);
-                    threads[tid].status = Status::InFlight;
-                }
-                warps[wid].posted = 0;
-                for (mi, requests, dsts) in groups {
-                    let schedule = SlotSchedule::build(&requests, self.cfg.width, mems[mi].policy);
-                    mems[mi].queue.push_back(Txn {
-                        warp: wid,
-                        requests,
-                        dsts,
-                        schedule,
-                        next_slot: 0,
-                    });
-                }
-            }
-
-            // Phase 5: each memory dispatches one pipeline slot.
-            for mem in &mut mems {
-                if now < mem.busy_until {
-                    continue;
-                }
-                if mem.current.is_none() {
-                    mem.current = mem.queue.pop_front();
-                }
-                let Some(txn) = mem.current.as_mut() else {
-                    continue;
-                };
-                let slot_idx = txn.next_slot;
-                let slot: Vec<usize> = txn.schedule.slot(slot_idx).to_vec();
-                if race_check {
-                    if let MemIdx::Shared(d) = mem.idx {
-                        let interval = race_interval[d];
-                        for &ri in &slot {
-                            let req = txn.requests[ri];
-                            let is_write = req.kind == AccessKind::Write;
-                            match race_last[d].get_mut(&req.addr) {
-                                Some(e) if e.0 == interval => {
-                                    if e.1 != txn.warp && (e.2 || is_write) {
-                                        report.shared_races += 1;
-                                        if races.len() < MAX_LOGGED_RACES {
-                                            races.push(DynamicRace {
-                                                dmm: d,
-                                                addr: req.addr,
-                                                warp_a: e.1,
-                                                warp_b: txn.warp,
-                                            });
-                                        }
-                                    }
-                                    e.2 |= is_write;
-                                }
-                                _ => {
-                                    race_last[d].insert(req.addr, (interval, txn.warp, is_write));
-                                }
-                            }
-                        }
-                    }
-                }
-                // Serve the slot: reads observe memory before this slot's
-                // writes; write-write collisions resolve to the last
-                // (highest thread id) writer — "arbitrary" per the paper,
-                // made deterministic here.
-                let storage: &mut BankedMemory = match mem.idx {
-                    MemIdx::Global => &mut self.global,
-                    MemIdx::Shared(d) => &mut self.shared[d],
-                };
-                let mut completions = Vec::with_capacity(slot.len());
-                for &ri in &slot {
-                    let req = txn.requests[ri];
-                    if req.kind == AccessKind::Read {
-                        let v = storage.read(req.addr).expect("bounds checked at assembly");
-                        completions.push(Completion {
-                            thread: req.thread,
-                            dst: txn.dsts[ri],
-                            value: v,
-                        });
-                    }
-                }
-                for &ri in &slot {
-                    let req = txn.requests[ri];
-                    if req.kind == AccessKind::Write {
-                        storage
-                            .write(req.addr, req.value)
-                            .expect("bounds checked at assembly");
-                        completions.push(Completion {
-                            thread: req.thread,
-                            dst: None,
-                            value: 0,
-                        });
-                    }
-                }
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(TraceEvent::SlotDispatched {
-                        cycle: now,
-                        memory: mem.idx.id(),
-                        warp: txn.warp,
-                        slot_index: slot_idx,
-                        total_slots: txn.schedule.num_slots(),
-                        addrs: slot.iter().map(|&ri| txn.requests[ri].addr).collect(),
-                    });
-                }
-                mem.completions.push_back((now + mem.latency, completions));
-                if !self.cfg.pipelined {
-                    mem.busy_until = now + mem.latency;
-                }
-                txn.next_slot += 1;
-                if txn.next_slot == txn.schedule.num_slots() {
-                    let done = mem.current.take().expect("current transaction");
-                    let slots = done.schedule.num_slots() as u64;
-                    let reqs = done.requests.len() as u64;
-                    match mem.idx {
-                        MemIdx::Global => report.global.record(slots, reqs),
-                        MemIdx::Shared(d) => {
-                            report.shared.record(slots, reqs);
-                            report.shared_per_dmm[d].record(slots, reqs);
-                        }
-                    }
-                }
-            }
-
-            // Phase 6: advance time, fast-forwarding idle stretches.
-            let any_runnable = active.iter().any(|&a| a);
-            let any_mem_work = mems.iter().any(MemRt::has_work);
-            if any_runnable || any_mem_work {
-                now += 1;
-            } else {
-                let next_completion = mems
-                    .iter()
-                    .filter_map(|m| m.completions.front().map(|(t, _)| *t))
-                    .chain(pending_releases.iter().map(|(t, _)| *t))
-                    .min();
-                match next_completion {
-                    Some(t) => now = t.max(now + 1),
-                    None => {
-                        if alive > 0 {
-                            let waiting = threads
-                                .iter()
-                                .filter(|t| matches!(t.status, Status::BarrierWait(_)))
-                                .count();
-                            return Err(SimError::Deadlock {
-                                cycle: now,
-                                waiting,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        report.time = finish_time;
-        self.trace = trace;
-        self.races = races;
-        Ok(report)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn release_barrier(
-        threads: &mut [ThreadRt],
-        warps: &mut [WarpRt],
-        active: &mut [bool],
-        thread_warp: &[usize],
-        barrier_cost: u64,
-        now: u64,
-        pending_releases: &mut Vec<(u64, Vec<usize>)>,
-        pred: impl Fn(&ThreadRt) -> bool,
-    ) {
-        if barrier_cost > 0 {
-            // Park the scope's threads until the synchronisation cost has
-            // elapsed; they leave BarrierWait so the scope's counter can
-            // reset, but only become runnable at now + cost.
-            let mut tids = Vec::new();
-            for (tid, t) in threads.iter_mut().enumerate() {
-                if pred(t) {
-                    t.status = Status::InFlight;
-                    tids.push(tid);
-                }
-            }
-            // A free release lets the threads run at now + 1, so resuming
-            // at now + cost + 1 charges exactly `cost` extra units.
-            pending_releases.push((now + barrier_cost + 1, tids));
-            return;
-        }
-        for tid in 0..threads.len() {
-            if pred(&threads[tid]) {
-                threads[tid].status = Status::Runnable;
-                let wid = thread_warp[tid];
-                warps[wid].runnable += 1;
-                active[wid] = true;
-            }
-        }
+        let out = exec::run(&self.cfg, spec, &mut self.global, &mut self.shared)?;
+        self.trace = out.trace;
+        self.races = out.races;
+        Ok(out.report)
     }
 }

@@ -1,0 +1,1217 @@
+//! Shard-based execution core shared by the sequential and parallel
+//! engine drivers.
+//!
+//! The HMM's DMMs interact only through the global (UMM) memory, so the
+//! simulator splits a launch into one [`Shard`] per DMM — threads, warps,
+//! the DMM's shared-memory pipeline, its barrier counters and its slice of
+//! the statistics — plus one [`Coord`] owning the global pipeline and the
+//! global backing store. Each simulated cycle runs in two shard phases
+//! around a global decision point:
+//!
+//! * **Phase A** (per shard, independent): deliver barrier releases and
+//!   memory completions due this cycle, then step every runnable thread
+//!   one instruction.
+//! * **Decision**: with every shard's phase A complete, the machine-wide
+//!   barrier release is decided from three monotone counters (threads
+//!   alive, barrier arrivals, barrier releases). Every party computes the
+//!   same decision from the same frozen values.
+//! * **Phase B** (per shard, independent): release the DMM-scope barrier,
+//!   apply the global release, assemble warp transactions (shared-bound
+//!   ones go to the shard's own pipeline, global-bound ones to a per-shard
+//!   output buffer), and dispatch one shared-memory pipeline slot.
+//!
+//! After phase B the coordinator concatenates the per-shard transaction
+//! buffers **in DMM order** and appends them to the global queue. Warps
+//! are numbered DMM-major, so this equals the warp-id arrival order the
+//! sequential engine produces — the canonical merge that makes every
+//! run bit-identical at any worker-thread count (see DESIGN.md).
+//!
+//! Trace events are buffered per shard with a `(cycle, rank, memory)`
+//! sort key and stably merged at the end of the run, reproducing the
+//! exact event order of single-threaded execution. Race logs merge the
+//! same way. Statistics are integer sums and maxima folded in DMM order.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::abi;
+use crate::bank::BankedMemory;
+use crate::engine::{DynamicRace, EngineConfig, LaunchSpec, MAX_LOGGED_RACES};
+use crate::error::{SimError, SimResult};
+use crate::isa::{Program, Reg, Scope, Space};
+use crate::request::{AccessKind, ConflictPolicy, Request, SlotSchedule};
+use crate::stats::{MemoryStats, SimReport};
+use crate::trace::{MemoryId, Trace, TraceEvent};
+use crate::vm::{step, StepEffect, ThreadState};
+use crate::word::Word;
+
+/// Everything a run produces besides the engine's persistent memories.
+pub(crate) struct RunOutput {
+    pub report: SimReport,
+    pub trace: Option<Trace>,
+    pub races: Vec<DynamicRace>,
+}
+
+// ---- trace merging ------------------------------------------------------
+//
+// Within one cycle the sequential engine emits events in a fixed order:
+// completions (global, then shared by DMM), barrier releases (DMMs
+// ascending, then the machine-wide barrier), dispatches (global, then
+// shared by DMM). Each buffered event carries that order as a sort key;
+// a stable sort over the concatenated per-shard buffers reproduces it.
+
+const RANK_COMPLETE: u8 = 0;
+const RANK_BARRIER: u8 = 1;
+const RANK_DISPATCH: u8 = 2;
+
+/// Memory component of the sort key: global first, then shared by DMM.
+const MEM_GLOBAL: u32 = 0;
+/// The machine-wide barrier sorts after every DMM-scope barrier.
+const MEM_MACHINE_BARRIER: u32 = u32::MAX;
+
+fn mem_shared(dmm: usize) -> u32 {
+    1 + dmm as u32
+}
+
+struct Ev {
+    cycle: u64,
+    rank: u8,
+    mem: u32,
+    event: TraceEvent,
+}
+
+// ---- runtime bookkeeping ------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Issued a memory request that has not yet been assembled.
+    Posted,
+    /// Request dispatched or queued; waiting for completion.
+    InFlight,
+    BarrierWait(Scope),
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Posted {
+    space: Space,
+    addr: usize,
+    kind: AccessKind,
+    dst: Option<Reg>,
+    value: Word,
+}
+
+struct ThreadRt {
+    state: ThreadState,
+    status: Status,
+    pending: Option<Posted>,
+}
+
+struct WarpRt {
+    /// Local thread indices within the owning shard.
+    threads: Vec<usize>,
+    runnable: usize,
+    posted: usize,
+}
+
+/// One thread released by a completed pipeline slot. `thread` is the
+/// global thread id so completions can cross the shard boundary.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    thread: usize,
+    dst: Option<Reg>,
+    value: Word,
+}
+
+/// A warp transaction; `warp` is the global warp id.
+struct Txn {
+    warp: usize,
+    requests: Vec<Request>,
+    dsts: Vec<Option<Reg>>,
+    schedule: SlotSchedule,
+    next_slot: usize,
+}
+
+/// Result of dispatching one pipeline slot.
+struct Dispatched {
+    warp: usize,
+    slot_index: usize,
+    total_slots: usize,
+    addrs: Vec<usize>,
+    /// `(slots, requests)` when this slot finished its transaction.
+    finished: Option<(u64, u64)>,
+}
+
+/// One memory's pipeline: the queue of warp transactions, the transaction
+/// currently occupying the pipeline, and the in-flight completions.
+struct PipeRt {
+    latency: u64,
+    policy: ConflictPolicy,
+    pipelined: bool,
+    queue: VecDeque<Txn>,
+    current: Option<Txn>,
+    /// (`resume_time`, completions); resume times are non-decreasing.
+    completions: VecDeque<(u64, Vec<Completion>)>,
+    /// For the non-pipelined ablation: no dispatch before this time.
+    busy_until: u64,
+}
+
+impl PipeRt {
+    fn new(latency: u64, policy: ConflictPolicy, pipelined: bool) -> Self {
+        Self {
+            latency,
+            policy,
+            pipelined,
+            queue: VecDeque::new(),
+            current: None,
+            completions: VecDeque::new(),
+            busy_until: 0,
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        self.current.is_some() || !self.queue.is_empty()
+    }
+
+    fn next_completion_at(&self) -> Option<u64> {
+        self.completions.front().map(|(t, _)| *t)
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<Vec<Completion>> {
+        if self.completions.front().is_some_and(|(t, _)| *t <= now) {
+            Some(self.completions.pop_front().expect("front checked").1)
+        } else {
+            None
+        }
+    }
+
+    /// Dispatch one pipeline slot: reads observe memory before this slot's
+    /// writes; write-write collisions resolve to the last (highest thread
+    /// id) writer — "arbitrary" per the paper, made deterministic here.
+    /// `pre` observes the slot before it is served (the race checker).
+    fn dispatch_slot(
+        &mut self,
+        now: u64,
+        store: &mut BankedMemory,
+        pre: impl FnOnce(&Txn, &[usize]),
+    ) -> Option<Dispatched> {
+        if now < self.busy_until {
+            return None;
+        }
+        if self.current.is_none() {
+            self.current = self.queue.pop_front();
+        }
+        let txn = self.current.as_mut()?;
+        let slot_idx = txn.next_slot;
+        let slot: Vec<usize> = txn.schedule.slot(slot_idx).to_vec();
+        pre(txn, &slot);
+        let mut completions = Vec::with_capacity(slot.len());
+        for &ri in &slot {
+            let req = txn.requests[ri];
+            if req.kind == AccessKind::Read {
+                let v = store.read(req.addr).expect("bounds checked at assembly");
+                completions.push(Completion {
+                    thread: req.thread,
+                    dst: txn.dsts[ri],
+                    value: v,
+                });
+            }
+        }
+        for &ri in &slot {
+            let req = txn.requests[ri];
+            if req.kind == AccessKind::Write {
+                store
+                    .write(req.addr, req.value)
+                    .expect("bounds checked at assembly");
+                completions.push(Completion {
+                    thread: req.thread,
+                    dst: None,
+                    value: 0,
+                });
+            }
+        }
+        let mut out = Dispatched {
+            warp: txn.warp,
+            slot_index: slot_idx,
+            total_slots: txn.schedule.num_slots(),
+            addrs: slot.iter().map(|&ri| txn.requests[ri].addr).collect(),
+            finished: None,
+        };
+        self.completions
+            .push_back((now + self.latency, completions));
+        if !self.pipelined {
+            self.busy_until = now + self.latency;
+        }
+        txn.next_slot += 1;
+        if txn.next_slot == txn.schedule.num_slots() {
+            let done = self.current.take().expect("current transaction");
+            out.finished = Some((done.schedule.num_slots() as u64, done.requests.len() as u64));
+        }
+        Some(out)
+    }
+}
+
+// ---- dynamic race checker -----------------------------------------------
+
+/// Debug-build dynamic race checker for one DMM's shared memory: tracks,
+/// per address, the last access within the current barrier interval.
+/// Intervals advance on every barrier release, which is sound because a
+/// thread blocks on its in-flight access before it can reach a barrier.
+struct RaceCk {
+    enabled: bool,
+    dmm: usize,
+    interval: u64,
+    /// addr -> (interval, warp, `saw_a_write`)
+    last: HashMap<usize, (u64, usize, bool)>,
+    /// Cycle-stamped log, capped at [`MAX_LOGGED_RACES`] per shard (the
+    /// global cap is re-applied after the merge).
+    log: Vec<(u64, DynamicRace)>,
+    count: u64,
+}
+
+impl RaceCk {
+    fn observe(&mut self, cycle: u64, txn: &Txn, slot: &[usize]) {
+        if !self.enabled {
+            return;
+        }
+        for &ri in slot {
+            let req = txn.requests[ri];
+            let is_write = req.kind == AccessKind::Write;
+            match self.last.get_mut(&req.addr) {
+                Some(e) if e.0 == self.interval => {
+                    if e.1 != txn.warp && (e.2 || is_write) {
+                        self.count += 1;
+                        if self.log.len() < MAX_LOGGED_RACES {
+                            self.log.push((
+                                cycle,
+                                DynamicRace {
+                                    dmm: self.dmm,
+                                    addr: req.addr,
+                                    warp_a: e.1,
+                                    warp_b: txn.warp,
+                                },
+                            ));
+                        }
+                    }
+                    e.2 |= is_write;
+                }
+                _ => {
+                    self.last
+                        .insert(req.addr, (self.interval, txn.warp, is_write));
+                }
+            }
+        }
+    }
+}
+
+// ---- shared control state -----------------------------------------------
+
+/// Machine-wide counters behind the barrier-release decision. All three
+/// are monotone within a run (arrivals and releases only grow, alive only
+/// shrinks), so the decision `arrivals − releases == alive` is computed
+/// identically by every worker from a plain load — no lock on the
+/// per-cycle hot path.
+struct Ctl {
+    /// Threads that have not halted.
+    alive: AtomicUsize,
+    /// Cumulative machine-wide barrier arrivals.
+    garr: AtomicUsize,
+    /// Cumulative machine-wide barrier releases (updated by the
+    /// coordinator strictly between cycles, never inside one).
+    grel: AtomicUsize,
+    /// A shard hit an error during phase A; phase B is skipped globally.
+    err_a: AtomicBool,
+}
+
+impl Ctl {
+    fn new(p: usize) -> Self {
+        Self {
+            alive: AtomicUsize::new(p),
+            garr: AtomicUsize::new(0),
+            grel: AtomicUsize::new(0),
+            err_a: AtomicBool::new(false),
+        }
+    }
+
+    /// The machine-wide barrier release decision for this cycle:
+    /// `Some(waiting)` when every live thread has arrived.
+    fn global_release(&self) -> Option<usize> {
+        let alive = self.alive.load(Ordering::SeqCst);
+        let waiting = self.garr.load(Ordering::SeqCst) - self.grel.load(Ordering::SeqCst);
+        (waiting > 0 && waiting == alive).then_some(waiting)
+    }
+}
+
+/// Per-shard liveness snapshot published after phase B; the coordinator
+/// folds these into the end-of-cycle time-advance decision.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pulse {
+    /// Some warp of this shard has a runnable thread.
+    any_active: bool,
+    /// The shard's shared pipeline has queued or in-progress work.
+    mem_work: bool,
+    /// Earliest future completion or parked barrier release.
+    next_event: Option<u64>,
+    /// Threads waiting at a barrier (for the deadlock report).
+    waiting: usize,
+}
+
+// ---- the shard -----------------------------------------------------------
+
+/// One DMM's slice of the simulation: its threads and warps, its shared
+/// memory and pipeline, barrier counters, race checker, statistics and
+/// trace buffer. Shards share no mutable state with each other.
+struct Shard<'m> {
+    dmm: usize,
+    base_tid: usize,
+    base_warp: usize,
+    threads: Vec<ThreadRt>,
+    warps: Vec<WarpRt>,
+    /// local thread index -> local warp index
+    thread_warp: Vec<usize>,
+    active: Vec<bool>,
+    /// Live threads on this DMM (the DMM-barrier release threshold).
+    alive: usize,
+    bar_dmm: usize,
+    bar_global: usize,
+    /// Barrier releases parked by the synchronisation-cost ablation:
+    /// (`resume_time`, local thread indices).
+    pending: Vec<(u64, Vec<usize>)>,
+    /// The DMM's shared-memory pipeline; `None` on machines without
+    /// shared memory (standalone DMM/UMM).
+    pipe: Option<PipeRt>,
+    store: &'m mut BankedMemory,
+    race_ck: RaceCk,
+    instructions: u64,
+    barriers: u64,
+    stats: MemoryStats,
+    finish_time: u64,
+    events: Vec<Ev>,
+    trace_on: bool,
+    /// First error this shard hit, tagged with its phase (0 = A, 1 = B);
+    /// the coordinator picks the globally-first one by `(phase, dmm)`.
+    err: Option<(u8, SimError)>,
+    width: usize,
+    global_policy: ConflictPolicy,
+    global_size: usize,
+    barrier_cost: u64,
+}
+
+impl<'m> Shard<'m> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        dmm: usize,
+        base_tid: usize,
+        base_warp: usize,
+        pd: usize,
+        p: usize,
+        cfg: &EngineConfig,
+        args: &[Word],
+        store: &'m mut BankedMemory,
+    ) -> Self {
+        let w = cfg.width;
+        let mut threads = Vec::with_capacity(pd);
+        let mut warps = Vec::new();
+        let mut thread_warp = Vec::with_capacity(pd);
+        for chunk_start in (0..pd).step_by(w) {
+            let chunk = chunk_start..(chunk_start + w).min(pd);
+            let warp_id = warps.len();
+            let mut members = Vec::with_capacity(chunk.len());
+            for ltid in chunk {
+                let gid = base_tid + ltid;
+                let mut st = ThreadState::new(gid);
+                st.set_reg(abi::GID, gid as Word);
+                st.set_reg(abi::DMM, dmm as Word);
+                st.set_reg(abi::LTID, ltid as Word);
+                st.set_reg(abi::P, p as Word);
+                st.set_reg(abi::PD, pd as Word);
+                st.set_reg(abi::W, w as Word);
+                st.set_reg(abi::D, cfg.dmms as Word);
+                st.set_reg(abi::L, cfg.global_latency as Word);
+                for (i, &a) in args.iter().enumerate() {
+                    st.set_reg(abi::arg(i), a);
+                }
+                threads.push(ThreadRt {
+                    state: st,
+                    status: Status::Runnable,
+                    pending: None,
+                });
+                members.push(ltid);
+                thread_warp.push(warp_id);
+            }
+            let len = members.len();
+            warps.push(WarpRt {
+                threads: members,
+                runnable: len,
+                posted: 0,
+            });
+        }
+        let active = warps.iter().map(|wp| wp.runnable > 0).collect();
+        let pipe = (cfg.shared_size > 0)
+            .then(|| PipeRt::new(cfg.shared_latency as u64, cfg.shared_policy, cfg.pipelined));
+        Self {
+            dmm,
+            base_tid,
+            base_warp,
+            threads,
+            warps,
+            thread_warp,
+            active,
+            alive: pd,
+            bar_dmm: 0,
+            bar_global: 0,
+            pending: Vec::new(),
+            pipe,
+            store,
+            race_ck: RaceCk {
+                enabled: cfg!(debug_assertions) && cfg.shared_size > 0,
+                dmm,
+                interval: 0,
+                last: HashMap::new(),
+                log: Vec::new(),
+                count: 0,
+            },
+            instructions: 0,
+            barriers: 0,
+            stats: MemoryStats::default(),
+            finish_time: 0,
+            events: Vec::new(),
+            trace_on: cfg.trace,
+            err: None,
+            width: cfg.width,
+            global_policy: cfg.global_policy,
+            global_size: cfg.global_size,
+            barrier_cost: cfg.barrier_cost,
+        }
+    }
+
+    fn make_runnable(&mut self, lt: usize) {
+        self.threads[lt].status = Status::Runnable;
+        let wid = self.thread_warp[lt];
+        self.warps[wid].runnable += 1;
+        self.active[wid] = true;
+    }
+
+    /// Deliver one completion to its thread.
+    fn complete(&mut self, c: Completion) {
+        let lt = c.thread - self.base_tid;
+        if let Some(dst) = c.dst {
+            self.threads[lt].state.set_reg(dst, c.value);
+        }
+        debug_assert_eq!(self.threads[lt].status, Status::InFlight);
+        self.make_runnable(lt);
+    }
+
+    /// Phase A: deliver everything due this cycle, then step every
+    /// runnable thread one instruction. `inbox` carries global-memory
+    /// completions routed here by the coordinator.
+    fn phase_a(
+        &mut self,
+        now: u64,
+        program: &Program,
+        ctl: &Ctl,
+        inbox: &mut Vec<Vec<Completion>>,
+    ) {
+        // Parked barrier releases whose synchronisation cost elapsed.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (_, tids) = self.pending.remove(i);
+                for lt in tids {
+                    self.make_runnable(lt);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Global-memory completions (routed by the coordinator).
+        for batch in inbox.drain(..) {
+            for c in batch {
+                self.complete(c);
+            }
+        }
+        // Own shared-memory completions.
+        while let Some(items) = self.pipe.as_mut().and_then(|p| p.pop_due(now)) {
+            if self.trace_on {
+                self.events.push(Ev {
+                    cycle: now,
+                    rank: RANK_COMPLETE,
+                    mem: mem_shared(self.dmm),
+                    event: TraceEvent::SlotCompleted {
+                        cycle: now,
+                        memory: MemoryId::Shared(self.dmm),
+                        warp: self.base_warp + self.thread_warp[items[0].thread - self.base_tid],
+                        threads: items.iter().map(|c| c.thread).collect(),
+                    },
+                });
+            }
+            for c in items {
+                self.complete(c);
+            }
+        }
+
+        // Step every runnable thread one instruction.
+        for wid in 0..self.warps.len() {
+            if !self.active[wid] {
+                continue;
+            }
+            for ti in 0..self.warps[wid].threads.len() {
+                let lt = self.warps[wid].threads[ti];
+                if self.threads[lt].status != Status::Runnable {
+                    continue;
+                }
+                let effect = match step(&mut self.threads[lt].state, program) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        self.err = Some((0, e));
+                        ctl.err_a.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                };
+                self.instructions += 1;
+                match effect {
+                    StepEffect::Local => {}
+                    StepEffect::Load { dst, space, addr } => {
+                        self.threads[lt].pending = Some(Posted {
+                            space,
+                            addr,
+                            kind: AccessKind::Read,
+                            dst: Some(dst),
+                            value: 0,
+                        });
+                        self.threads[lt].status = Status::Posted;
+                        self.warps[wid].runnable -= 1;
+                        self.warps[wid].posted += 1;
+                    }
+                    StepEffect::Store { space, addr, value } => {
+                        self.threads[lt].pending = Some(Posted {
+                            space,
+                            addr,
+                            kind: AccessKind::Write,
+                            dst: None,
+                            value,
+                        });
+                        self.threads[lt].status = Status::Posted;
+                        self.warps[wid].runnable -= 1;
+                        self.warps[wid].posted += 1;
+                    }
+                    StepEffect::Barrier(scope) => {
+                        self.threads[lt].status = Status::BarrierWait(scope);
+                        self.warps[wid].runnable -= 1;
+                        match scope {
+                            Scope::Global => {
+                                self.bar_global += 1;
+                                ctl.garr.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Scope::Dmm => self.bar_dmm += 1,
+                        }
+                    }
+                    StepEffect::Halt => {
+                        self.threads[lt].status = Status::Halted;
+                        self.warps[wid].runnable -= 1;
+                        self.alive -= 1;
+                        ctl.alive.fetch_sub(1, Ordering::SeqCst);
+                        self.finish_time = now + 1;
+                    }
+                }
+            }
+            if self.warps[wid].runnable == 0 {
+                self.active[wid] = false;
+            }
+        }
+    }
+
+    /// Release every thread of this shard waiting at `scope`, or park
+    /// them when the synchronisation-cost ablation is active. A free
+    /// release lets the threads run at `now + 1`, so resuming at
+    /// `now + cost + 1` charges exactly `cost` extra units.
+    fn release(&mut self, now: u64, scope: Scope) {
+        if self.barrier_cost > 0 {
+            let mut tids = Vec::new();
+            for (lt, t) in self.threads.iter_mut().enumerate() {
+                if t.status == Status::BarrierWait(scope) {
+                    t.status = Status::InFlight;
+                    tids.push(lt);
+                }
+            }
+            self.pending.push((now + self.barrier_cost + 1, tids));
+            return;
+        }
+        for lt in 0..self.threads.len() {
+            if self.threads[lt].status == Status::BarrierWait(scope) {
+                self.make_runnable(lt);
+            }
+        }
+    }
+
+    /// Phase B: barrier releases, transaction assembly and one shared
+    /// pipeline slot. Global-bound transactions are pushed to `out_txns`
+    /// for the coordinator's canonical merge. `release_global` is the
+    /// decision computed from [`Ctl`] after every shard finished phase A.
+    fn phase_b(&mut self, now: u64, release_global: bool, out_txns: &mut Vec<Txn>) {
+        // DMM-scope barrier: release once every live thread arrived.
+        if self.bar_dmm > 0 && self.bar_dmm == self.alive {
+            let n = self.bar_dmm;
+            self.release(now, Scope::Dmm);
+            self.barriers += 1;
+            if self.trace_on {
+                self.events.push(Ev {
+                    cycle: now,
+                    rank: RANK_BARRIER,
+                    mem: self.dmm as u32,
+                    event: TraceEvent::BarrierReleased {
+                        cycle: now,
+                        dmm: Some(self.dmm),
+                        threads: n,
+                    },
+                });
+            }
+            self.bar_dmm = 0;
+            self.race_ck.interval += 1;
+        }
+        // Machine-wide barrier (decided globally; trace event and the
+        // `barriers` count are the coordinator's).
+        if release_global {
+            self.release(now, Scope::Global);
+            self.bar_global = 0;
+            self.race_ck.interval += 1;
+        }
+
+        // Assemble warp transactions (SIMD lockstep: a warp's requests go
+        // to memory once none of its threads can advance without one).
+        for wid in 0..self.warps.len() {
+            if self.warps[wid].posted == 0 || self.warps[wid].runnable > 0 {
+                continue;
+            }
+            // Group the posted requests per target memory (first-touch
+            // order, matching arrival order within the warp).
+            let mut groups: Vec<(Space, Vec<Request>, Vec<Option<Reg>>)> = Vec::new();
+            for ti in 0..self.warps[wid].threads.len() {
+                let lt = self.warps[wid].threads[ti];
+                if self.threads[lt].status != Status::Posted {
+                    continue;
+                }
+                let posted = self.threads[lt].pending.take().expect("posted thread");
+                let size = match posted.space {
+                    Space::Global => self.global_size,
+                    Space::Shared => {
+                        if self.pipe.is_none() {
+                            self.err = Some((1, SimError::NoSharedMemory));
+                            return;
+                        }
+                        self.store.len()
+                    }
+                };
+                if posted.addr >= size {
+                    self.err = Some((
+                        1,
+                        SimError::OutOfBounds {
+                            thread: self.base_tid + lt,
+                            space: posted.space,
+                            addr: posted.addr,
+                            size,
+                        },
+                    ));
+                    return;
+                }
+                let entry = if let Some(i) = groups.iter().position(|(s, _, _)| *s == posted.space)
+                {
+                    &mut groups[i]
+                } else {
+                    groups.push((posted.space, Vec::new(), Vec::new()));
+                    groups.last_mut().expect("just pushed")
+                };
+                entry.1.push(Request {
+                    thread: self.base_tid + lt,
+                    addr: posted.addr,
+                    kind: posted.kind,
+                    value: posted.value,
+                });
+                entry.2.push(posted.dst);
+                self.threads[lt].status = Status::InFlight;
+            }
+            self.warps[wid].posted = 0;
+            for (space, requests, dsts) in groups {
+                let policy = match space {
+                    Space::Global => self.global_policy,
+                    Space::Shared => self.pipe.as_ref().expect("checked above").policy,
+                };
+                let schedule = SlotSchedule::build(&requests, self.width, policy);
+                let txn = Txn {
+                    warp: self.base_warp + wid,
+                    requests,
+                    dsts,
+                    schedule,
+                    next_slot: 0,
+                };
+                match space {
+                    Space::Global => out_txns.push(txn),
+                    Space::Shared => self
+                        .pipe
+                        .as_mut()
+                        .expect("checked above")
+                        .queue
+                        .push_back(txn),
+                }
+            }
+        }
+
+        // Dispatch one shared-memory pipeline slot.
+        if let Some(pipe) = self.pipe.as_mut() {
+            let rck = &mut self.race_ck;
+            if let Some(d) =
+                pipe.dispatch_slot(now, self.store, |txn, slot| rck.observe(now, txn, slot))
+            {
+                if self.trace_on {
+                    self.events.push(Ev {
+                        cycle: now,
+                        rank: RANK_DISPATCH,
+                        mem: mem_shared(self.dmm),
+                        event: TraceEvent::SlotDispatched {
+                            cycle: now,
+                            memory: MemoryId::Shared(self.dmm),
+                            warp: d.warp,
+                            slot_index: d.slot_index,
+                            total_slots: d.total_slots,
+                            addrs: d.addrs,
+                        },
+                    });
+                }
+                if let Some((slots, reqs)) = d.finished {
+                    self.stats.record(slots, reqs);
+                }
+            }
+        }
+    }
+
+    /// End-of-cycle liveness snapshot.
+    fn pulse(&self) -> Pulse {
+        let pipe_next = self.pipe.as_ref().and_then(PipeRt::next_completion_at);
+        let park_next = self.pending.iter().map(|(t, _)| *t).min();
+        Pulse {
+            any_active: self.active.iter().any(|&a| a),
+            mem_work: self.pipe.as_ref().is_some_and(PipeRt::has_work),
+            next_event: match (pipe_next, park_next) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            waiting: self.bar_dmm + self.bar_global,
+        }
+    }
+}
+
+// ---- the coordinator -----------------------------------------------------
+
+/// The global-memory side of the machine: the single UMM pipeline shared
+/// by every DMM's warps, plus the routing tables that send completions
+/// back to the owning shard.
+struct Coord<'m> {
+    pipe: PipeRt,
+    store: &'m mut BankedMemory,
+    /// global thread id -> DMM (for completion routing).
+    thread_dmm: Vec<usize>,
+    /// global thread id -> global warp id (for trace events).
+    thread_warp: Vec<usize>,
+    events: Vec<Ev>,
+    trace_on: bool,
+    stats: MemoryStats,
+    barriers: u64,
+}
+
+impl Coord<'_> {
+    /// Deliver global completions due at `now` to their shards' inboxes.
+    /// Runs strictly between cycles, before the shards' phase A.
+    fn route(&mut self, now: u64, mut deliver: impl FnMut(usize, Vec<Completion>)) {
+        while let Some(items) = self.pipe.pop_due(now) {
+            if self.trace_on {
+                self.events.push(Ev {
+                    cycle: now,
+                    rank: RANK_COMPLETE,
+                    mem: MEM_GLOBAL,
+                    event: TraceEvent::SlotCompleted {
+                        cycle: now,
+                        memory: MemoryId::Global,
+                        warp: self.thread_warp[items[0].thread],
+                        threads: items.iter().map(|c| c.thread).collect(),
+                    },
+                });
+            }
+            deliver(self.thread_dmm[items[0].thread], items);
+        }
+    }
+
+    /// Record a machine-wide barrier release (the shards apply it).
+    fn note_global_release(&mut self, now: u64, waiting: usize) {
+        self.barriers += 1;
+        if self.trace_on {
+            self.events.push(Ev {
+                cycle: now,
+                rank: RANK_BARRIER,
+                mem: MEM_MACHINE_BARRIER,
+                event: TraceEvent::BarrierReleased {
+                    cycle: now,
+                    dmm: None,
+                    threads: waiting,
+                },
+            });
+        }
+    }
+
+    /// Append this cycle's global-bound transactions (already in the
+    /// canonical DMM order) and dispatch one global pipeline slot.
+    fn dispatch(&mut self, now: u64, txns: impl IntoIterator<Item = Txn>) {
+        for t in txns {
+            self.pipe.queue.push_back(t);
+        }
+        if let Some(d) = self.pipe.dispatch_slot(now, self.store, |_, _| {}) {
+            if self.trace_on {
+                self.events.push(Ev {
+                    cycle: now,
+                    rank: RANK_DISPATCH,
+                    mem: MEM_GLOBAL,
+                    event: TraceEvent::SlotDispatched {
+                        cycle: now,
+                        memory: MemoryId::Global,
+                        warp: d.warp,
+                        slot_index: d.slot_index,
+                        total_slots: d.total_slots,
+                        addrs: d.addrs,
+                    },
+                });
+            }
+            if let Some((slots, reqs)) = d.finished {
+                self.stats.record(slots, reqs);
+            }
+        }
+    }
+}
+
+/// End-of-cycle time advance, shared verbatim by both drivers: step one
+/// unit while anything is active, fast-forward to the next event when
+/// idle, and report a deadlock when no event can ever arrive.
+fn advance_time(
+    now: u64,
+    global_work: bool,
+    global_next: Option<u64>,
+    pulses: &[Pulse],
+) -> SimResult<u64> {
+    let any_runnable = pulses.iter().any(|p| p.any_active);
+    let any_mem_work = global_work || pulses.iter().any(|p| p.mem_work);
+    if any_runnable || any_mem_work {
+        return Ok(now + 1);
+    }
+    let next = global_next
+        .into_iter()
+        .chain(pulses.iter().filter_map(|p| p.next_event))
+        .min();
+    match next {
+        Some(t) => Ok(t.max(now + 1)),
+        None => Err(SimError::Deadlock {
+            cycle: now,
+            waiting: pulses.iter().map(|p| p.waiting).sum(),
+        }),
+    }
+}
+
+/// The globally-first error: phase A before phase B, then DMM order —
+/// exactly the order in which single-threaded execution would have hit
+/// them, since warps are numbered DMM-major.
+fn first_error(shards: &[Shard<'_>]) -> Option<SimError> {
+    shards
+        .iter()
+        .filter_map(|s| s.err.as_ref().map(|(ph, e)| (*ph, s.dmm, e)))
+        .min_by_key(|&(ph, dmm, _)| (ph, dmm))
+        .map(|(_, _, e)| e.clone())
+}
+
+// ---- drivers -------------------------------------------------------------
+
+/// Single-threaded driver: the oracle. Runs the exact same phase code as
+/// the parallel driver, in the same order.
+fn drive_sequential(
+    cfg: &EngineConfig,
+    program: &Program,
+    coord: &mut Coord<'_>,
+    shards: &mut [Shard<'_>],
+    ctl: &Ctl,
+) -> SimResult<()> {
+    let mut inboxes: Vec<Vec<Vec<Completion>>> = vec![Vec::new(); shards.len()];
+    let mut pulses: Vec<Pulse> = vec![Pulse::default(); shards.len()];
+    let mut now: u64 = 0;
+    loop {
+        if now >= cfg.max_cycles {
+            return Err(SimError::CycleLimit {
+                limit: cfg.max_cycles,
+            });
+        }
+        coord.route(now, |d, items| inboxes[d].push(items));
+        for (s, inbox) in shards.iter_mut().zip(inboxes.iter_mut()) {
+            s.phase_a(now, program, ctl, inbox);
+        }
+        let skip_b = ctl.err_a.load(Ordering::SeqCst);
+        let release = if skip_b { None } else { ctl.global_release() };
+        if let Some(waiting) = release {
+            coord.note_global_release(now, waiting);
+            ctl.grel.fetch_add(waiting, Ordering::SeqCst);
+        }
+        let mut txns: Vec<Txn> = Vec::new();
+        if !skip_b {
+            for s in shards.iter_mut() {
+                s.phase_b(now, release.is_some(), &mut txns);
+            }
+        }
+        if let Some(e) = first_error(shards) {
+            return Err(e);
+        }
+        coord.dispatch(now, txns);
+        if ctl.alive.load(Ordering::SeqCst) == 0 {
+            return Ok(());
+        }
+        for (s, p) in shards.iter().zip(pulses.iter_mut()) {
+            *p = s.pulse();
+        }
+        now = advance_time(
+            now,
+            coord.pipe.has_work(),
+            coord.pipe.next_completion_at(),
+            &pulses,
+        )?;
+    }
+}
+
+/// Per-shard mailbox between the coordinator and the worker that owns the
+/// shard. Locked at most twice per cycle per side — never contended
+/// within a phase, since the barrier protocol hands ownership back and
+/// forth wholesale.
+#[derive(Default)]
+struct Mail {
+    /// Coordinator -> shard: global completions due this cycle.
+    inbox: Vec<Vec<Completion>>,
+    /// Shard -> coordinator: this cycle's global-bound transactions.
+    txns: Vec<Txn>,
+    pulse: Pulse,
+    err: Option<(u8, SimError)>,
+}
+
+/// Multi-threaded driver: shards are partitioned over `workers` scoped
+/// threads; the main thread coordinates. Three barrier waits bound each
+/// cycle (S0 start, S1 after phase A, S2 after phase B).
+fn drive_parallel(
+    cfg: &EngineConfig,
+    program: &Program,
+    coord: &mut Coord<'_>,
+    shards: &mut [Shard<'_>],
+    ctl: &Ctl,
+    workers: usize,
+) -> SimResult<()> {
+    let dmms = shards.len();
+    let chunk = dmms.div_ceil(workers);
+    let mail: Vec<Mutex<Mail>> = (0..dmms).map(|_| Mutex::new(Mail::default())).collect();
+    let parties = shards.chunks(chunk).count() + 1;
+    let barrier = Barrier::new(parties);
+    let clock = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for group in shards.chunks_mut(chunk) {
+            let (barrier, clock, stop, mail) = (&barrier, &clock, &stop, &mail);
+            scope.spawn(move || {
+                loop {
+                    barrier.wait(); // S0: cycle published
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let now = clock.load(Ordering::SeqCst);
+                    for s in group.iter_mut() {
+                        let mut m = mail[s.dmm].lock().expect("mailbox");
+                        s.phase_a(now, program, ctl, &mut m.inbox);
+                    }
+                    barrier.wait(); // S1: all phase A done
+                    let skip_b = ctl.err_a.load(Ordering::SeqCst);
+                    let release = if skip_b { None } else { ctl.global_release() };
+                    for s in group.iter_mut() {
+                        let mut m = mail[s.dmm].lock().expect("mailbox");
+                        if !skip_b {
+                            s.phase_b(now, release.is_some(), &mut m.txns);
+                        }
+                        m.pulse = s.pulse();
+                        m.err.clone_from(&s.err);
+                    }
+                    barrier.wait(); // S2: all phase B published
+                }
+            });
+        }
+
+        // Coordinator (this thread). Every exit path falls through to the
+        // stop protocol below so the workers always unblock.
+        let mut pulses: Vec<Pulse> = vec![Pulse::default(); dmms];
+        let mut now: u64 = 0;
+        let result = loop {
+            if now >= cfg.max_cycles {
+                break Err(SimError::CycleLimit {
+                    limit: cfg.max_cycles,
+                });
+            }
+            coord.route(now, |d, items| {
+                mail[d].lock().expect("mailbox").inbox.push(items);
+            });
+            clock.store(now, Ordering::SeqCst);
+            barrier.wait(); // S0
+            barrier.wait(); // S1
+            let skip_b = ctl.err_a.load(Ordering::SeqCst);
+            let release = if skip_b { None } else { ctl.global_release() };
+            if let Some(waiting) = release {
+                coord.note_global_release(now, waiting);
+            }
+            barrier.wait(); // S2
+                            // The release counter moves only here — strictly between the
+                            // workers' post-S1 reads this cycle and their next ones.
+            if let Some(waiting) = release {
+                ctl.grel.fetch_add(waiting, Ordering::SeqCst);
+            }
+            let mut err: Option<(u8, usize, SimError)> = None;
+            let mut txns: Vec<Txn> = Vec::new();
+            for (d, slot) in mail.iter().enumerate() {
+                let mut m = slot.lock().expect("mailbox");
+                txns.append(&mut m.txns);
+                pulses[d] = m.pulse;
+                if let Some((ph, e)) = m.err.clone() {
+                    if err.as_ref().is_none_or(|(p0, d0, _)| (ph, d) < (*p0, *d0)) {
+                        err = Some((ph, d, e));
+                    }
+                }
+            }
+            if let Some((_, _, e)) = err {
+                break Err(e);
+            }
+            coord.dispatch(now, txns);
+            if ctl.alive.load(Ordering::SeqCst) == 0 {
+                break Ok(());
+            }
+            match advance_time(
+                now,
+                coord.pipe.has_work(),
+                coord.pipe.next_completion_at(),
+                &pulses,
+            ) {
+                Ok(t) => now = t,
+                Err(e) => break Err(e),
+            }
+        };
+        stop.store(true, Ordering::SeqCst);
+        barrier.wait(); // release the workers parked at S0
+        result
+    })
+}
+
+// ---- entry point ---------------------------------------------------------
+
+/// Simulate one validated launch to completion. `cfg` and `spec` are
+/// assumed consistent (the engine validates before calling).
+pub(crate) fn run(
+    cfg: &EngineConfig,
+    spec: &LaunchSpec,
+    global: &mut BankedMemory,
+    shared: &mut [BankedMemory],
+) -> SimResult<RunOutput> {
+    let p = spec.total_threads();
+    let w = cfg.width;
+
+    let mut shards: Vec<Shard<'_>> = Vec::with_capacity(cfg.dmms);
+    let mut thread_dmm: Vec<usize> = Vec::with_capacity(p);
+    let mut thread_warp: Vec<usize> = Vec::with_capacity(p);
+    let mut base_tid = 0usize;
+    let mut base_warp = 0usize;
+    for ((d, &pd), store) in spec
+        .threads_per_dmm
+        .iter()
+        .enumerate()
+        .zip(shared.iter_mut())
+    {
+        for lt in 0..pd {
+            thread_dmm.push(d);
+            thread_warp.push(base_warp + lt / w);
+        }
+        shards.push(Shard::new(
+            d, base_tid, base_warp, pd, p, cfg, &spec.args, store,
+        ));
+        base_tid += pd;
+        base_warp += pd.div_ceil(w);
+    }
+
+    let mut coord = Coord {
+        pipe: PipeRt::new(cfg.global_latency as u64, cfg.global_policy, cfg.pipelined),
+        store: global,
+        thread_dmm,
+        thread_warp,
+        events: Vec::new(),
+        trace_on: cfg.trace,
+        stats: MemoryStats::default(),
+        barriers: 0,
+    };
+    let ctl = Ctl::new(p);
+
+    let workers = cfg.parallelism.workers(cfg.dmms);
+    if workers <= 1 {
+        drive_sequential(cfg, &spec.program, &mut coord, &mut shards, &ctl)?;
+    } else {
+        drive_parallel(cfg, &spec.program, &mut coord, &mut shards, &ctl, workers)?;
+    }
+
+    // ---- merge (always in DMM order) ------------------------------------
+    let mut report = SimReport {
+        threads: p,
+        global: coord.stats,
+        barriers: coord.barriers,
+        ..SimReport::default()
+    };
+    let has_shared = cfg.shared_size > 0;
+    for s in &shards {
+        report.instructions += s.instructions;
+        report.barriers += s.barriers;
+        report.shared_races += s.race_ck.count;
+        report.time = report.time.max(s.finish_time);
+        if has_shared {
+            report.shared.merge(&s.stats);
+            report.shared_per_dmm.push(s.stats.clone());
+        }
+    }
+
+    let trace = if cfg.trace {
+        let mut evs = coord.events;
+        for s in &mut shards {
+            evs.append(&mut s.events);
+        }
+        // Stable sort: each (cycle, rank, mem) key has a single producer,
+        // whose events are already in order — this reproduces the exact
+        // event sequence of single-threaded execution.
+        evs.sort_by_key(|e| (e.cycle, e.rank, e.mem));
+        let mut t = Trace::new();
+        for e in evs {
+            t.push(e.event);
+        }
+        Some(t)
+    } else {
+        None
+    };
+
+    // Merge race logs the same way: per-shard logs are in cycle order, so
+    // a stable sort by cycle (shard order breaking ties) reproduces the
+    // global dispatch order; the cap then keeps the same first entries a
+    // single-threaded run would have kept.
+    let mut stamped: Vec<(u64, DynamicRace)> = Vec::new();
+    for s in &mut shards {
+        stamped.append(&mut s.race_ck.log);
+    }
+    stamped.sort_by_key(|(c, _)| *c);
+    stamped.truncate(MAX_LOGGED_RACES);
+    let races = stamped.into_iter().map(|(_, r)| r).collect();
+
+    Ok(RunOutput {
+        report,
+        trace,
+        races,
+    })
+}

@@ -35,6 +35,7 @@ pub mod bank;
 pub mod disasm;
 pub mod engine;
 pub mod error;
+mod exec;
 pub mod isa;
 pub mod kbuild;
 pub mod request;
@@ -46,7 +47,7 @@ pub mod word;
 pub use asm::{Asm, Label};
 pub use bank::{bank_of, group_of, BankedMemory};
 pub use disasm::disassemble;
-pub use engine::{DynamicRace, Engine, EngineConfig, LaunchSpec, MemoryKind};
+pub use engine::{DynamicRace, Engine, EngineConfig, LaunchSpec, MemoryKind, Parallelism};
 pub use error::{SimError, SimResult};
 pub use isa::{Inst, Operand, Program, Reg, Scope, Space};
 pub use request::{AccessKind, ConflictPolicy, Request, SlotSchedule};

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use hmm_machine::isa::Reg;
 use hmm_machine::request::{slot_count, AccessKind, ConflictPolicy, Request, SlotSchedule};
-use hmm_machine::{abi, bank_of, group_of, Asm, Engine, EngineConfig, LaunchSpec};
+use hmm_machine::{abi, bank_of, group_of, Asm, Engine, EngineConfig, LaunchSpec, Parallelism};
 use hmm_util::Rng;
 
 fn random_requests(rng: &mut Rng, max_addr: usize) -> Vec<Request> {
@@ -148,6 +148,123 @@ fn engine_affine_kernel_is_deterministic() {
                 a_coef.wrapping_mul(gid as i64).wrapping_add(b_coef)
             );
         }
+    }
+}
+
+/// A random straight-line SPMD program touching registers, global and
+/// shared memory (addresses masked in-bounds) and both barrier scopes.
+/// No branches, so termination is guaranteed and barriers cannot
+/// deadlock; shared stores from different threads may race, exercising
+/// the dynamic race log.
+fn random_program(rng: &mut Rng, global_size: usize, shared_size: usize) -> hmm_machine::Program {
+    let mut asm = Asm::new();
+    let reg = |i: usize| Reg(16 + (i as u8) % 8);
+    // Seed the scratch registers with thread-dependent values.
+    asm.mov(reg(0), abi::GID);
+    asm.mul(reg(1), abi::LTID, 3);
+    asm.add(reg(2), abi::DMM, 1);
+    let len = 4 + rng.usize_below(24);
+    for _ in 0..len {
+        let dst = reg(rng.usize_below(8));
+        let a = reg(rng.usize_below(8));
+        let b = reg(rng.usize_below(8));
+        match rng.usize_below(10) {
+            0 => asm.add(dst, a, b),
+            1 => asm.sub(dst, a, b),
+            2 => asm.mul(dst, a, rng.int_in(-4, 4)),
+            3 => asm.xor(dst, a, b),
+            4 => {
+                // Masked global store: addr = a & (global_size - 1).
+                asm.and(dst, a, (global_size - 1) as i64);
+                asm.st_global(dst, 0, b);
+            }
+            5 => {
+                asm.and(dst, a, (global_size - 1) as i64);
+                asm.ld_global(dst, dst, 0);
+            }
+            6 => {
+                // Masked shared store — may race between threads.
+                asm.and(dst, a, (shared_size - 1) as i64);
+                asm.st_shared(dst, 0, b);
+            }
+            7 => {
+                asm.and(dst, a, (shared_size - 1) as i64);
+                asm.ld_shared(dst, dst, 0);
+            }
+            8 => asm.bar_dmm(),
+            _ => asm.bar_global(),
+        }
+    }
+    asm.st_global(abi::GID, 0, reg(rng.usize_below(8)));
+    asm.halt();
+    asm.finish()
+}
+
+/// The full observable machine state after one run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    report: hmm_machine::SimReport,
+    global: Vec<hmm_machine::Word>,
+    shared: Vec<Vec<hmm_machine::Word>>,
+    races: Vec<hmm_machine::DynamicRace>,
+    trace: Vec<hmm_machine::trace::TraceEvent>,
+}
+
+/// Random ISA programs on random machine shapes are bit-identical across
+/// worker-thread counts 1/2/4/8 and across repeated runs: the canonical
+/// merge leaks no iteration order into reports, memories, race logs or
+/// traces.
+#[test]
+fn random_programs_are_thread_count_invariant() {
+    let mut rng = Rng::new(0x9A11E7);
+    let (global_size, shared_size) = (256usize, 64usize);
+    for case in 0..24 {
+        let d = [1usize, 2, 4, 8][rng.usize_below(4)];
+        let w = [2usize, 4, 8][rng.usize_below(3)];
+        let l = 1 + rng.usize_below(31);
+        let p = (1 + rng.usize_below(4 * w)) * d;
+        let program = random_program(&mut rng, global_size, shared_size);
+        let spec = LaunchSpec::even(program, p, d, vec![]);
+
+        let run = |par: Parallelism| {
+            let mut cfg = EngineConfig::hmm(d, w, l, global_size, shared_size);
+            cfg.trace = true;
+            cfg.parallelism = par;
+            let mut engine = Engine::new(cfg).unwrap();
+            let report = engine.run(&spec).unwrap();
+            Observed {
+                report,
+                global: engine.global().cells().to_vec(),
+                shared: (0..d).map(|i| engine.shared(i).cells().to_vec()).collect(),
+                races: engine.take_races(),
+                trace: engine
+                    .take_trace()
+                    .expect("trace enabled")
+                    .events()
+                    .to_vec(),
+            }
+        };
+
+        let oracle = run(Parallelism::Sequential);
+        let ctx = format!("case {case}: d={d} w={w} l={l} p={p}");
+        assert_eq!(
+            run(Parallelism::Sequential),
+            oracle,
+            "{ctx}: not repeatable"
+        );
+        for t in [1usize, 2, 4, 8] {
+            assert_eq!(
+                run(Parallelism::Threads(t)),
+                oracle,
+                "{ctx}: diverged at {t} worker threads"
+            );
+        }
+        // Repeated parallel runs must agree with each other too.
+        assert_eq!(
+            run(Parallelism::Threads(4)),
+            run(Parallelism::Threads(4)),
+            "{ctx}: parallel run not repeatable"
+        );
     }
 }
 

@@ -9,12 +9,16 @@
 //!   inputs and randomised tests.
 //! - [`bench`]: a minimal wall-clock timing harness for the `hmm-bench`
 //!   bench targets.
+//! - [`par`]: a deterministic order-preserving parallel map over scoped
+//!   threads, the substrate of the workspace's batch runners.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod json;
+pub mod par;
 pub mod rng;
 
 pub use json::{JsonError, Value};
+pub use par::parallel_map;
 pub use rng::Rng;

@@ -1,0 +1,87 @@
+//! A dependency-free deterministic parallel map over scoped threads.
+//!
+//! The workspace's batch layers (`hmm-core::batch`, the `hmm-bench`
+//! sweeps, the CLI's `batch` command) fan independent jobs out over OS
+//! threads. Jobs are claimed from a shared queue, but every result lands
+//! back at its input's index, so the output order — and therefore any
+//! artefact derived from it — is identical at every thread count.
+
+use std::sync::Mutex;
+
+/// Apply `f` to every item of `items` on up to `threads` worker threads,
+/// returning the results **in input order** regardless of which worker
+/// ran which item or how execution interleaved.
+///
+/// `threads <= 1` (or a single item) runs inline with no thread overhead.
+/// Workers claim items one at a time from a shared queue, so uneven job
+/// durations balance automatically.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let results = Mutex::new(slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the queue lock only while claiming the next item.
+                let claimed = queue.lock().expect("job queue").next();
+                let Some((i, item)) = claimed else {
+                    break;
+                };
+                let r = f(item);
+                results.lock().expect("result slots")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_every_thread_count() {
+        let input: Vec<usize> = (0..57).collect();
+        let expect: Vec<usize> = input.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 2, 4, 8] {
+            let got = parallel_map(input.clone(), threads, |x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(empty, 4, |x| x).is_empty());
+        assert_eq!(parallel_map(vec![7], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_job_durations_still_land_in_order() {
+        // Later items finish first; order must still hold.
+        let got = parallel_map((0..16).collect::<Vec<u64>>(), 4, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(200 * (16 - i)));
+            i * 10
+        });
+        assert_eq!(got, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+}
