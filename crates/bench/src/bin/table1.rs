@@ -8,6 +8,12 @@
 //! table and the JSON dump identical at any thread count.
 //!
 //! Run with `cargo run --release -p hmm-bench --bin table1`.
+//!
+//! With `--profile`, instead of the full grid a single representative
+//! point per row runs with cycle accounting on, printing the measured
+//! stall breakdown next to the Table II lower bound and its dominant
+//! regime term — the measured counterpart of the paper's optimality
+//! argument.
 
 use hmm_algorithms::convolution::hmm::shared_words;
 use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
@@ -15,8 +21,9 @@ use hmm_algorithms::reference;
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm};
 use hmm_bench::{dump, header, row, summarise, Measurement};
 use hmm_core::{BatchRunner, Machine, Parallelism};
+use hmm_machine::{LaunchProfile, StallCategory};
 use hmm_pram::algorithms as pram_algos;
-use hmm_theory::{table1, Params};
+use hmm_theory::{regimes, table1, table2, Params};
 use hmm_workloads::random_words;
 
 fn params(n: usize, k: usize, p: usize, w: usize, l: usize, d: usize) -> Params {
@@ -141,10 +148,70 @@ fn conv_point(
     (cells, ms)
 }
 
+/// One-line measured breakdown: every category's share of threads×time.
+fn breakdown_line(p: &LaunchProfile) -> String {
+    StallCategory::ALL
+        .iter()
+        .map(|&cat| format!("{} {:.1}%", cat.name(), 100.0 * p.fraction(cat)))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+fn print_profiles(tag: &str, time: u64, lb: &table2::LowerBound, profiles: &[LaunchProfile]) {
+    println!(
+        "{tag}: measured {time} units | lower bound {:.0} (dominant regime: {:?})",
+        lb.total(),
+        regimes::dominant(lb)
+    );
+    for p in profiles {
+        println!("  launch {:>12}: {}", p.label, breakdown_line(p));
+        assert!(p.is_conserved(), "profile lost thread-cycles");
+    }
+    println!();
+}
+
+/// `--profile`: one representative point per Table I row, run with the
+/// cycle-accounting profiler on.
+fn profile_mode(w: usize, l: usize, d: usize) {
+    println!("== Table I --profile: measured stall breakdown vs Table II dominant regime ==\n");
+
+    let (n, p) = (1usize << 14, 2048usize);
+    let input = random_words(n, n as u64 ^ p as u64, 100);
+    let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two().max(64))
+        .with_parallelism(Parallelism::Sequential);
+    hmm.set_profiling(true);
+    let run = run_sum_hmm(&mut hmm, &input, p).expect("hmm sum");
+    print_profiles(
+        &format!("sum/hmm n={n} p={p}"),
+        run.report.time,
+        &table2::sum_hmm(params(n, 1, p, w, l, d)),
+        &hmm.take_profiles(),
+    );
+
+    let (n, k, p) = (1usize << 12, 32usize, 2048usize);
+    let a = random_words(k, k as u64, 50);
+    let b = random_words(n + k - 1, n as u64, 50);
+    let m_slice = n.div_ceil(d);
+    let mut hmm = Machine::hmm(d, w, l, 2 * (n + 2 * k), shared_words(m_slice, k) + 8)
+        .with_parallelism(Parallelism::Sequential);
+    hmm.set_profiling(true);
+    let run = run_conv_hmm(&mut hmm, &a, &b, p).expect("hmm conv");
+    print_profiles(
+        &format!("conv/hmm n={n} k={k} p={p}"),
+        run.report.time,
+        &table2::conv_hmm(params(n, k, p, w, l, d)),
+        &hmm.take_profiles(),
+    );
+}
+
 fn main() {
     let w = 32;
     let d = 16; // GTX580 shape
     let l = 256;
+    if std::env::args().any(|a| a == "--profile") {
+        profile_mode(w, l, d);
+        return;
+    }
     let runner = BatchRunner::new();
 
     println!("== Table I (sum row) ==");

@@ -31,13 +31,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// A parsed command line: the command word plus its `--key value` pairs
-/// and boolean `--flag`s (flags whose next token is another flag or the
-/// end of input).
+/// A parsed command line: the command word, an optional positional
+/// subject (a bare token directly after the command, e.g.
+/// `profile sum-hmm`), plus `--key value` pairs and boolean `--flag`s
+/// (flags whose next token is another flag or the end of input).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The command word.
     pub command: String,
+    subject: Option<String>,
     values: BTreeMap<String, String>,
     switches: Vec<String>,
 }
@@ -54,7 +56,16 @@ impl Args {
             command,
             ..Args::default()
         };
+        let mut first = true;
         while let Some(tok) = it.next() {
+            // One bare token may follow the command word: the subject
+            // (`profile sum-hmm`). Anything else must be a --flag.
+            if first && !tok.starts_with("--") {
+                args.subject = Some(tok);
+                first = false;
+                continue;
+            }
+            first = false;
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| ParseError::NotAFlag(tok.clone()))?
@@ -103,6 +114,12 @@ impl Args {
             .get(key)
             .cloned()
             .unwrap_or_else(|| default.to_string())
+    }
+
+    /// The positional subject following the command word, if any.
+    #[must_use]
+    pub fn subject(&self) -> Option<&str> {
+        self.subject.as_deref()
     }
 
     /// Whether a boolean switch was given.
@@ -180,6 +197,21 @@ mod tests {
             a.get_choice("op", "plus", &["sum", "min"]),
             Err(ParseError::BadChoice(..))
         ));
+    }
+
+    #[test]
+    fn subject_token_after_command() {
+        let a = Args::parse(toks("profile sum-hmm --top 5 --json")).unwrap();
+        assert_eq!(a.command, "profile");
+        assert_eq!(a.subject(), Some("sum-hmm"));
+        assert_eq!(a.get_usize("top", 0).unwrap(), 5);
+        assert!(a.has("json"));
+        // Only the first post-command token can be a subject.
+        assert!(matches!(
+            Args::parse(toks("profile sum-hmm extra")),
+            Err(ParseError::NotAFlag(_))
+        ));
+        assert_eq!(Args::parse(toks("sum --n 4")).unwrap().subject(), None);
     }
 
     #[test]

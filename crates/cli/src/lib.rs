@@ -9,6 +9,7 @@
 //!   conv       direct convolution (Theorem 8 / Theorem 9)
 //!   prefix     prefix sums
 //!   sort       bitonic sort
+//!   profile    cycle-accounting profile of a kernel (profile sum-hmm)
 //!   lint       static analysis of the named kernels (exit 2 on errors)
 //!   info       print machine presets
 //!
@@ -21,6 +22,12 @@
 //! lint flags:
 //!   --kernel NAME           analyse one kernel (see `lint` for names)
 //!   --all                   analyse every shipped kernel
+//!
+//! profile flags:
+//!   --buckets B             timeline buckets to aim for (default 64)
+//!   --top N                 hotspot rows in the text report (default 10)
+//!   --profile-out FILE      write the profile JSON document
+//!   --perfetto-out FILE     write a Perfetto trace_events JSON file
 //! ```
 //!
 //! The argument grammar is `--key value` pairs after the command; the
@@ -31,6 +38,7 @@
 
 pub mod args;
 pub mod lint;
+mod profile;
 pub mod run;
 
 pub use args::{Args, ParseError};

@@ -16,9 +16,11 @@ fn main() {
     if tokens.is_empty() || tokens[0] == "--help" || tokens[0] == "help" {
         emit(
             "hmm-cli — run the HMM paper's algorithms on simulated machines\n\n\
-             usage: hmm-cli <sum|reduce|conv|prefix|sort|batch|lint|info> [--key value]... [--json]\n\
+             usage: hmm-cli <sum|reduce|conv|prefix|sort|profile|batch|lint|info> [--key value]... [--json]\n\
              flags: --machine dmm|umm|hmm  --n --k --p --w --l --d --seed --op sum|min|max\n\
                     --threads N   engine worker threads (default: HMM_THREADS env, else all cores)\n\
+             profile: hmm-cli profile <algo>[-<machine>] [--buckets B] [--top N]\n\
+                    [--profile-out FILE] [--perfetto-out FILE]   (cycle-accounting stall breakdown)\n\
              batch: hmm-cli batch --cmd <sum|reduce|conv|prefix|sort> --sweep <n|k|p|w|l|d>\n\
                     [--values a,b,c | --from A --to B] [--threads N]   (parallel parameter sweep)\n\
              lint:  hmm-cli lint --all | --kernel <name>   (exit 2 on error findings)\n\n\

@@ -24,6 +24,9 @@ pub struct Outcome {
     pub lint: Option<hmm_util::Value>,
     /// JSON payload for `batch` runs: one entry per sweep point.
     pub batch: Option<hmm_util::Value>,
+    /// JSON payload for `profile` runs: the cycle-accounting profile
+    /// document (None for other commands).
+    pub profile: Option<hmm_util::Value>,
     /// Whether lint found error-severity diagnostics; the binary exits
     /// with status 2 when set.
     pub lint_failed: bool,
@@ -38,6 +41,8 @@ pub enum CliError {
     Sim(hmm_machine::SimError),
     /// Unknown command word.
     UnknownCommand(String),
+    /// Failed to write an output file (`--perfetto-out`, `--profile-out`).
+    Io(String, std::io::Error),
 }
 
 impl std::fmt::Display for CliError {
@@ -47,8 +52,9 @@ impl std::fmt::Display for CliError {
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
             CliError::UnknownCommand(c) => write!(
                 f,
-                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, batch, lint, info)"
+                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, profile, batch, lint, info)"
             ),
+            CliError::Io(path, e) => write!(f, "cannot write {path:?}: {e}"),
         }
     }
 }
@@ -67,19 +73,19 @@ impl From<hmm_machine::SimError> for CliError {
     }
 }
 
-struct MachineSpec {
-    kind: String,
-    n: usize,
-    k: usize,
-    p: usize,
-    w: usize,
-    l: usize,
-    d: usize,
-    seed: u64,
-    threads: usize,
+pub(crate) struct MachineSpec {
+    pub(crate) kind: String,
+    pub(crate) n: usize,
+    pub(crate) k: usize,
+    pub(crate) p: usize,
+    pub(crate) w: usize,
+    pub(crate) l: usize,
+    pub(crate) d: usize,
+    pub(crate) seed: u64,
+    pub(crate) threads: usize,
 }
 
-fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
+pub(crate) fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
     let kind = a.get_choice("machine", "hmm", &["dmm", "umm", "hmm"])?;
     Ok(MachineSpec {
         kind,
@@ -137,105 +143,17 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
                 ..Outcome::default()
             })
         }
-        "sum" | "reduce" => {
+        "sum" | "reduce" | "conv" | "prefix" | "sort" => {
             let spec = machine_spec(a)?;
-            let op = match a.get_choice("op", "sum", &["sum", "min", "max"])?.as_str() {
-                "min" => ReduceOp::Min,
-                "max" => ReduceOp::Max,
-                _ => ReduceOp::Sum,
-            };
-            let input = random_words(spec.n, spec.seed, 1000);
-            let expect = op.fold(&input);
-            let run = if spec.kind == "hmm" {
-                let p = spec.p_multiple_of_d();
-                let shared = (p / spec.d).next_power_of_two().max(8);
-                let mut m = spec.build(spec.n + 2 * spec.d.next_power_of_two() + 8, shared);
-                run_reduce_hmm(&mut m, &input, p, op)?
-            } else {
-                let mut m = spec.build(spec.n.next_power_of_two(), 0);
-                run_reduce_dmm_umm(&mut m, &input, spec.p, op)?
-            };
-            assert_eq!(run.value, expect, "result mismatch vs host fold");
+            let mut m = algo_machine(&a.command, &spec);
+            let (summary, report) = run_algo(&a.command, a, &spec, &mut m)?;
             Ok(Outcome {
-                summary: format!(
-                    "{:?} of n={} on {}: value {} in {} time units",
-                    op, spec.n, spec.kind, run.value, run.report.time
-                ),
-                report: Some(run.report),
+                summary,
+                report: Some(report),
                 ..Outcome::default()
             })
         }
-        "conv" => {
-            let spec = machine_spec(a)?;
-            let av = random_words(spec.k, spec.seed, 50);
-            let bv = random_words(spec.n + spec.k - 1, spec.seed + 1, 50);
-            let run = if spec.kind == "hmm" {
-                let p = spec.p_multiple_of_d();
-                let m_slice = spec.n.div_ceil(spec.d);
-                let mut m =
-                    spec.build(2 * (spec.n + 2 * spec.k), shared_words(m_slice, spec.k) + 8);
-                run_conv_hmm(&mut m, &av, &bv, p)?
-            } else {
-                let mut m = spec.build(2 * (spec.n + 2 * spec.k), 0);
-                run_conv_dmm_umm(&mut m, &av, &bv, spec.p)?
-            };
-            Ok(Outcome {
-                summary: format!(
-                    "convolution n={} k={} on {}: c[0]={} in {} time units",
-                    spec.n, spec.k, spec.kind, run.value[0], run.report.time
-                ),
-                report: Some(run.report),
-                ..Outcome::default()
-            })
-        }
-        "prefix" => {
-            let spec = machine_spec(a)?;
-            let input = random_words(spec.n, spec.seed, 1000);
-            let run = if spec.kind == "hmm" {
-                let p = spec.p_multiple_of_d();
-                let chunk = spec.n.div_ceil(spec.d);
-                let shared = prefix_shared_words(chunk, p / spec.d, spec.d);
-                let mut m = spec.build(2 * spec.n + spec.d + 8, shared);
-                run_prefix_hmm(&mut m, &input, p)?
-            } else {
-                let mut m = spec.build(3 * spec.n.next_power_of_two(), 0);
-                run_prefix_dmm_umm(&mut m, &input, spec.p)?
-            };
-            Ok(Outcome {
-                summary: format!(
-                    "prefix sums n={} on {}: last={} in {} time units",
-                    spec.n,
-                    spec.kind,
-                    run.value.last().copied().unwrap_or(0),
-                    run.report.time
-                ),
-                report: Some(run.report),
-                ..Outcome::default()
-            })
-        }
-        "sort" => {
-            let spec = machine_spec(a)?;
-            let input = random_words(spec.n, spec.seed, 1_000_000);
-            let run = if spec.kind == "hmm" {
-                let p = spec.p_multiple_of_d();
-                let n2 = spec.n.next_power_of_two().max(2 * spec.d);
-                let mut m = spec.build(n2, n2 / spec.d);
-                run_sort_hmm(&mut m, &input, p)?
-            } else {
-                let mut m = spec.build(spec.n.next_power_of_two().max(2), 0);
-                run_sort_umm(&mut m, &input, spec.p)?
-            };
-            let sorted_ok = run.value.windows(2).all(|p| p[0] <= p[1]);
-            assert!(sorted_ok, "output not sorted");
-            Ok(Outcome {
-                summary: format!(
-                    "bitonic sort n={} on {}: sorted=true in {} time units",
-                    spec.n, spec.kind, run.report.time
-                ),
-                report: Some(run.report),
-                ..Outcome::default()
-            })
-        }
+        "profile" => crate::profile::execute_profile(a),
         "batch" => run_batch(a),
         "lint" => {
             let lint = crate::lint::execute(a)?;
@@ -247,6 +165,135 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
             })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Build the machine an algorithm command needs, sized exactly as the
+/// command arms always sized them (shared with the `profile` command).
+pub(crate) fn algo_machine(algo: &str, spec: &MachineSpec) -> Machine {
+    match algo {
+        "conv" => {
+            if spec.kind == "hmm" {
+                let m_slice = spec.n.div_ceil(spec.d);
+                spec.build(2 * (spec.n + 2 * spec.k), shared_words(m_slice, spec.k) + 8)
+            } else {
+                spec.build(2 * (spec.n + 2 * spec.k), 0)
+            }
+        }
+        "prefix" => {
+            if spec.kind == "hmm" {
+                let p = spec.p_multiple_of_d();
+                let chunk = spec.n.div_ceil(spec.d);
+                let shared = prefix_shared_words(chunk, p / spec.d, spec.d);
+                spec.build(2 * spec.n + spec.d + 8, shared)
+            } else {
+                spec.build(3 * spec.n.next_power_of_two(), 0)
+            }
+        }
+        "sort" => {
+            if spec.kind == "hmm" {
+                let n2 = spec.n.next_power_of_two().max(2 * spec.d);
+                spec.build(n2, n2 / spec.d)
+            } else {
+                spec.build(spec.n.next_power_of_two().max(2), 0)
+            }
+        }
+        // sum | reduce
+        _ => {
+            if spec.kind == "hmm" {
+                let p = spec.p_multiple_of_d();
+                let shared = (p / spec.d).next_power_of_two().max(8);
+                spec.build(spec.n + 2 * spec.d.next_power_of_two() + 8, shared)
+            } else {
+                spec.build(spec.n.next_power_of_two(), 0)
+            }
+        }
+    }
+}
+
+/// Run `algo` on an already-built machine `m` and return the one-line
+/// human summary plus the simulation report.
+pub(crate) fn run_algo(
+    algo: &str,
+    a: &Args,
+    spec: &MachineSpec,
+    m: &mut Machine,
+) -> Result<(String, SimReport), CliError> {
+    match algo {
+        "conv" => {
+            let av = random_words(spec.k, spec.seed, 50);
+            let bv = random_words(spec.n + spec.k - 1, spec.seed + 1, 50);
+            let run = if spec.kind == "hmm" {
+                run_conv_hmm(m, &av, &bv, spec.p_multiple_of_d())?
+            } else {
+                run_conv_dmm_umm(m, &av, &bv, spec.p)?
+            };
+            Ok((
+                format!(
+                    "convolution n={} k={} on {}: c[0]={} in {} time units",
+                    spec.n, spec.k, spec.kind, run.value[0], run.report.time
+                ),
+                run.report,
+            ))
+        }
+        "prefix" => {
+            let input = random_words(spec.n, spec.seed, 1000);
+            let run = if spec.kind == "hmm" {
+                run_prefix_hmm(m, &input, spec.p_multiple_of_d())?
+            } else {
+                run_prefix_dmm_umm(m, &input, spec.p)?
+            };
+            Ok((
+                format!(
+                    "prefix sums n={} on {}: last={} in {} time units",
+                    spec.n,
+                    spec.kind,
+                    run.value.last().copied().unwrap_or(0),
+                    run.report.time
+                ),
+                run.report,
+            ))
+        }
+        "sort" => {
+            let input = random_words(spec.n, spec.seed, 1_000_000);
+            let run = if spec.kind == "hmm" {
+                run_sort_hmm(m, &input, spec.p_multiple_of_d())?
+            } else {
+                run_sort_umm(m, &input, spec.p)?
+            };
+            let sorted_ok = run.value.windows(2).all(|p| p[0] <= p[1]);
+            assert!(sorted_ok, "output not sorted");
+            Ok((
+                format!(
+                    "bitonic sort n={} on {}: sorted=true in {} time units",
+                    spec.n, spec.kind, run.report.time
+                ),
+                run.report,
+            ))
+        }
+        // sum | reduce
+        _ => {
+            let op = match a.get_choice("op", "sum", &["sum", "min", "max"])?.as_str() {
+                "min" => ReduceOp::Min,
+                "max" => ReduceOp::Max,
+                _ => ReduceOp::Sum,
+            };
+            let input = random_words(spec.n, spec.seed, 1000);
+            let expect = op.fold(&input);
+            let run = if spec.kind == "hmm" {
+                run_reduce_hmm(m, &input, spec.p_multiple_of_d(), op)?
+            } else {
+                run_reduce_dmm_umm(m, &input, spec.p, op)?
+            };
+            assert_eq!(run.value, expect, "result mismatch vs host fold");
+            Ok((
+                format!(
+                    "{:?} of n={} on {}: value {} in {} time units",
+                    op, spec.n, spec.kind, run.value, run.report.time
+                ),
+                run.report,
+            ))
+        }
     }
 }
 
@@ -345,6 +392,9 @@ pub fn render(outcome: &Outcome, json: bool) -> String {
         }
         if let Some(batch) = &outcome.batch {
             return batch.to_json_pretty();
+        }
+        if let Some(profile) = &outcome.profile {
+            return profile.to_json_pretty();
         }
         let report = outcome
             .report

@@ -2,7 +2,8 @@
 
 use hmm_machine::trace::Trace;
 use hmm_machine::{
-    Engine, EngineConfig, LaunchSpec, Parallelism, Program, SimError, SimReport, SimResult, Word,
+    Engine, EngineConfig, LaunchProfile, LaunchSpec, Parallelism, Program, SimError, SimReport,
+    SimResult, Word,
 };
 
 /// Which of the paper's three models a [`Machine`] instantiates.
@@ -268,12 +269,40 @@ impl Machine {
     #[allow(clippy::needless_pass_by_value)]
     pub fn launch(&mut self, kernel: &Kernel, shape: LaunchShape) -> SimResult<SimReport> {
         let spec = shape.to_spec(kernel, self.engine.config().dmms)?;
-        self.engine.run(&spec)
+        let report = self.engine.run(&spec)?;
+        // A profiled run just pushed a profile; stamp it with the kernel
+        // name so multi-launch profiles stay tellable apart.
+        if self.engine.config().profile {
+            self.engine.label_last_profile(&kernel.name);
+        }
+        Ok(report)
     }
 
     /// Take the trace of the last launch, if tracing was configured.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.engine.take_trace()
+    }
+
+    /// Enable or disable event tracing for subsequent launches.
+    pub fn set_trace(&mut self, on: bool) {
+        self.engine.set_trace(on);
+    }
+
+    /// Enable or disable cycle-accounting profiling for subsequent
+    /// launches (see `hmm_machine::profile`).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.engine.set_profiling(on);
+    }
+
+    /// Set the number of timeline buckets profiled launches aim for.
+    pub fn set_profile_buckets(&mut self, buckets: usize) {
+        self.engine.set_profile_buckets(buckets);
+    }
+
+    /// Take the profiles accumulated by profiled launches, labelled with
+    /// their kernel names, in launch order.
+    pub fn take_profiles(&mut self) -> Vec<LaunchProfile> {
+        self.engine.take_profiles()
     }
 }
 
@@ -342,6 +371,22 @@ mod tests {
             .launch(&Kernel::new("spin", a.finish()), LaunchShape::Even(4))
             .unwrap_err();
         assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn profiled_launch_is_labelled_and_conserved() {
+        let mut m = Machine::hmm(2, 4, 2, 64, 32);
+        m.set_profiling(true);
+        let report = m.launch(&store_gid(), LaunchShape::Even(8)).unwrap();
+        let profiles = m.take_profiles();
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].label, "store-gid");
+        assert!(profiles[0].is_conserved());
+        assert_eq!(profiles[0].thread_cycles(), 8 * report.time);
+        // Taking drains; an unprofiled launch adds nothing.
+        m.set_profiling(false);
+        m.launch(&store_gid(), LaunchShape::Even(8)).unwrap();
+        assert!(m.take_profiles().is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::bank::BankedMemory;
 use crate::error::{SimError, SimResult};
 use crate::exec;
 use crate::isa::Program;
+use crate::profile::LaunchProfile;
 use crate::request::ConflictPolicy;
 use crate::stats::SimReport;
 use crate::trace::Trace;
@@ -125,10 +126,24 @@ pub struct EngineConfig {
     pub max_cycles: u64,
     /// Record a [`Trace`] of dispatches/completions/barriers.
     pub trace: bool,
+    /// Cap the number of retained trace events per run; events beyond
+    /// the cap are counted in [`Trace::dropped_events`]. `None` (the
+    /// default) keeps every event.
+    pub trace_capacity: Option<usize>,
+    /// Account every thread-cycle into a [`crate::profile::LaunchProfile`]
+    /// (collected via [`Engine::take_profiles`]).
+    pub profile: bool,
+    /// Upper bound on the number of time buckets in profile timelines;
+    /// the bucket width doubles as a run outgrows it.
+    pub profile_buckets: usize,
     /// Worker-thread policy for stepping the DMM shards. Results are
     /// identical at every setting; only wall-clock time changes.
     pub parallelism: Parallelism,
 }
+
+/// Default cap on profile-timeline buckets (see
+/// [`EngineConfig::profile_buckets`]).
+pub const DEFAULT_PROFILE_BUCKETS: usize = 64;
 
 impl EngineConfig {
     /// A standalone Discrete Memory Machine of width `w` and latency `l`.
@@ -148,6 +163,9 @@ impl EngineConfig {
             barrier_cost: 0,
             max_cycles: u64::MAX,
             trace: false,
+            trace_capacity: None,
+            profile: false,
+            profile_buckets: DEFAULT_PROFILE_BUCKETS,
             parallelism: Parallelism::Auto,
         }
     }
@@ -186,6 +204,9 @@ impl EngineConfig {
             barrier_cost: 0,
             max_cycles: u64::MAX,
             trace: false,
+            trace_capacity: None,
+            profile: false,
+            profile_buckets: DEFAULT_PROFILE_BUCKETS,
             parallelism: Parallelism::Auto,
         }
     }
@@ -282,6 +303,7 @@ pub struct Engine {
     shared: Vec<BankedMemory>,
     trace: Option<Trace>,
     races: Vec<DynamicRace>,
+    profiles: Vec<LaunchProfile>,
 }
 
 /// One shared-memory race observed by the debug-build dynamic checker:
@@ -326,6 +348,7 @@ impl Engine {
             shared,
             trace: None,
             races: Vec::new(),
+            profiles: Vec::new(),
         })
     }
 
@@ -377,6 +400,45 @@ impl Engine {
         self.cfg.parallelism = parallelism;
     }
 
+    /// Enable or disable event tracing on an existing machine.
+    pub fn set_trace(&mut self, trace: bool) {
+        self.cfg.trace = trace;
+    }
+
+    /// Bound the retained trace-event count (see
+    /// [`EngineConfig::trace_capacity`]).
+    pub fn set_trace_capacity(&mut self, capacity: Option<usize>) {
+        self.cfg.trace_capacity = capacity;
+    }
+
+    /// Enable or disable cycle-accounting profiling on an existing
+    /// machine. Profiles of subsequent launches accumulate until
+    /// [`Engine::take_profiles`] drains them.
+    pub fn set_profiling(&mut self, profile: bool) {
+        self.cfg.profile = profile;
+    }
+
+    /// Set the profile-timeline bucket cap (see
+    /// [`EngineConfig::profile_buckets`]).
+    pub fn set_profile_buckets(&mut self, buckets: usize) {
+        self.cfg.profile_buckets = buckets.max(1);
+    }
+
+    /// Take the profiles accumulated by every [`Engine::run`] since the
+    /// last drain (empty unless profiling is enabled). One entry per
+    /// launch, in launch order.
+    pub fn take_profiles(&mut self) -> Vec<LaunchProfile> {
+        std::mem::take(&mut self.profiles)
+    }
+
+    /// Attach a human-readable label (e.g. the kernel name) to the most
+    /// recently recorded profile.
+    pub fn label_last_profile(&mut self, label: &str) {
+        if let Some(p) = self.profiles.last_mut() {
+            p.label = label.to_string();
+        }
+    }
+
     /// Simulate one kernel launch to completion.
     ///
     /// Stepping is sharded per DMM and may run on worker threads
@@ -409,6 +471,9 @@ impl Engine {
         let out = exec::run(&self.cfg, spec, &mut self.global, &mut self.shared)?;
         self.trace = out.trace;
         self.races = out.races;
+        if let Some(profile) = out.profile {
+            self.profiles.push(profile);
+        }
         Ok(out.report)
     }
 }

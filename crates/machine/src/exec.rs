@@ -40,6 +40,7 @@ use crate::bank::BankedMemory;
 use crate::engine::{DynamicRace, EngineConfig, LaunchSpec, MAX_LOGGED_RACES};
 use crate::error::{SimError, SimResult};
 use crate::isa::{Program, Reg, Scope, Space};
+use crate::profile::{CategoryCounts, LaunchProfile, PipeAcc, StallCategory};
 use crate::request::{AccessKind, ConflictPolicy, Request, SlotSchedule};
 use crate::stats::{MemoryStats, SimReport};
 use crate::trace::{MemoryId, Trace, TraceEvent};
@@ -51,6 +52,7 @@ pub(crate) struct RunOutput {
     pub report: SimReport,
     pub trace: Option<Trace>,
     pub races: Vec<DynamicRace>,
+    pub profile: Option<LaunchProfile>,
 }
 
 // ---- trace merging ------------------------------------------------------
@@ -79,6 +81,18 @@ struct Ev {
     rank: u8,
     mem: u32,
     event: TraceEvent,
+}
+
+/// Buffer a trace event under a capacity bound. Each buffer is in
+/// canonical key order, so any event the merged, sorted, truncated
+/// trace would keep sits within the first `cap` entries of its own
+/// buffer — per-buffer capping loses nothing the merge would retain.
+fn buffer_ev(events: &mut Vec<Ev>, cap: usize, dropped: &mut u64, ev: Ev) {
+    if events.len() < cap {
+        events.push(ev);
+    } else {
+        *dropped += 1;
+    }
 }
 
 // ---- runtime bookkeeping ------------------------------------------------
@@ -123,6 +137,10 @@ struct Completion {
     thread: usize,
     dst: Option<Reg>,
     value: Word,
+    /// Cycles this request's slot dispatched after its transaction's
+    /// first slot — the conflict-serialisation share of the thread's
+    /// wait, carried across the shard boundary for the profiler.
+    conflict: u64,
 }
 
 /// A warp transaction; `warp` is the global warp id.
@@ -132,6 +150,8 @@ struct Txn {
     dsts: Vec<Option<Reg>>,
     schedule: SlotSchedule,
     next_slot: usize,
+    /// Cycle the first slot dispatched (set when slot 0 goes out).
+    first_dispatch: u64,
 }
 
 /// Result of dispatching one pipeline slot.
@@ -205,6 +225,10 @@ impl PipeRt {
         }
         let txn = self.current.as_mut()?;
         let slot_idx = txn.next_slot;
+        if slot_idx == 0 {
+            txn.first_dispatch = now;
+        }
+        let conflict = now - txn.first_dispatch;
         let slot: Vec<usize> = txn.schedule.slot(slot_idx).to_vec();
         pre(txn, &slot);
         let mut completions = Vec::with_capacity(slot.len());
@@ -216,6 +240,7 @@ impl PipeRt {
                     thread: req.thread,
                     dst: txn.dsts[ri],
                     value: v,
+                    conflict,
                 });
             }
         }
@@ -229,6 +254,7 @@ impl PipeRt {
                     thread: req.thread,
                     dst: None,
                     value: 0,
+                    conflict,
                 });
             }
         }
@@ -302,6 +328,139 @@ impl RaceCk {
                         .insert(req.addr, (self.interval, txn.warp, is_write));
                 }
             }
+        }
+    }
+}
+
+// ---- per-shard cycle accounting ------------------------------------------
+
+/// What a thread is currently waiting on (profiler view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    None,
+    Mem(Space),
+    Barrier,
+}
+
+/// Profiler state of one thread: accounting is interval-based, so the
+/// record only carries enough to close the current interval at the next
+/// step — nothing is touched while the thread waits.
+struct ThreadProf {
+    /// Local warp index (for per-warp attribution).
+    warp: usize,
+    /// Cycle of the thread's most recent instruction issue.
+    last_step: u64,
+    wait: Wait,
+    /// PC of the instruction that caused the current wait.
+    wait_pc: usize,
+    /// Conflict-serialisation share of the current memory wait,
+    /// delivered with the completion.
+    conflict: u64,
+    /// Cycle the thread issued its `halt`.
+    halted_at: u64,
+    halt_pc: usize,
+}
+
+/// One shard's slice of the launch profile: per-warp and per-pc counts
+/// plus the shared pipeline's occupancy accumulator. Merged in DMM
+/// order at the end of the run, like every other shard product.
+struct ShardProf {
+    threads: Vec<ThreadProf>,
+    warps: Vec<CategoryCounts>,
+    per_pc: Vec<CategoryCounts>,
+    pipe: Option<PipeAcc>,
+}
+
+impl ShardProf {
+    fn new(thread_warp: &[usize], warps: usize, program_len: usize, acc: Option<PipeAcc>) -> Self {
+        Self {
+            threads: thread_warp
+                .iter()
+                .map(|&w| ThreadProf {
+                    warp: w,
+                    last_step: 0,
+                    wait: Wait::None,
+                    wait_pc: 0,
+                    conflict: 0,
+                    halted_at: 0,
+                    halt_pc: 0,
+                })
+                .collect(),
+            warps: vec![CategoryCounts::default(); warps],
+            per_pc: vec![CategoryCounts::default(); program_len],
+            pipe: acc,
+        }
+    }
+
+    fn charge(&mut self, warp: usize, pc: usize, cat: StallCategory, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.warps[warp].add(cat, n);
+        if let Some(c) = self.per_pc.get_mut(pc) {
+            c.add(cat, n);
+        }
+    }
+
+    /// The thread issues an instruction at `now` from `pc`: close the
+    /// wait interval since its previous issue, then charge the issue
+    /// cycle itself. Exactly one category receives every cycle in
+    /// `(last_step, now]`, which is what makes the accounting conserve
+    /// `threads × time`.
+    fn on_step(&mut self, lt: usize, now: u64, pc: usize) {
+        let t = &self.threads[lt];
+        let (warp, wait_pc, wait, conflict, last_step) =
+            (t.warp, t.wait_pc, t.wait, t.conflict, t.last_step);
+        match wait {
+            // A thread with no pending wait steps every cycle.
+            Wait::None => debug_assert!(now == 0 || now == last_step + 1),
+            Wait::Mem(space) => {
+                let waited = now - last_step - 1;
+                let conflict = conflict.min(waited);
+                let (mem, conf) = match space {
+                    Space::Global => (StallCategory::MemGlobal, StallCategory::ConflictGlobal),
+                    Space::Shared => (StallCategory::MemShared, StallCategory::ConflictShared),
+                };
+                self.charge(warp, wait_pc, mem, waited - conflict);
+                self.charge(warp, wait_pc, conf, conflict);
+            }
+            Wait::Barrier => {
+                let waited = now - last_step - 1;
+                self.charge(warp, wait_pc, StallCategory::Barrier, waited);
+            }
+        }
+        let t = &mut self.threads[lt];
+        t.wait = Wait::None;
+        t.conflict = 0;
+        t.last_step = now;
+        self.charge(warp, pc, StallCategory::Issued, 1);
+    }
+
+    /// The instruction issued at `pc` left the thread waiting.
+    fn on_wait(&mut self, lt: usize, wait: Wait, pc: usize) {
+        let t = &mut self.threads[lt];
+        t.wait = wait;
+        t.wait_pc = pc;
+    }
+
+    /// A memory completion arrived carrying its conflict share.
+    fn on_complete(&mut self, lt: usize, conflict: u64) {
+        self.threads[lt].conflict = conflict;
+    }
+
+    fn on_halt(&mut self, lt: usize, now: u64, pc: usize) {
+        let t = &mut self.threads[lt];
+        t.halted_at = now;
+        t.halt_pc = pc;
+    }
+
+    /// Charge every thread's retired tail `(halted_at, time)` once the
+    /// launch-wide finish time is known (merge time).
+    fn close(&mut self, time: u64) {
+        for i in 0..self.threads.len() {
+            let t = &self.threads[i];
+            let (warp, pc, halted_at) = (t.warp, t.halt_pc, t.halted_at);
+            self.charge(warp, pc, StallCategory::Retired, time - halted_at - 1);
         }
     }
 }
@@ -390,6 +549,12 @@ struct Shard<'m> {
     finish_time: u64,
     events: Vec<Ev>,
     trace_on: bool,
+    /// Per-buffer trace capacity (`usize::MAX` when unbounded).
+    trace_cap: usize,
+    /// Events not buffered because the capacity bound was hit.
+    events_dropped: u64,
+    /// Cycle accounting (present when the config enables profiling).
+    prof: Option<ShardProf>,
     /// First error this shard hit, tagged with its phase (0 = A, 1 = B);
     /// the coordinator picks the globally-first one by `(phase, dmm)`.
     err: Option<(u8, SimError)>,
@@ -479,6 +644,9 @@ impl<'m> Shard<'m> {
             finish_time: 0,
             events: Vec::new(),
             trace_on: cfg.trace,
+            trace_cap: cfg.trace_capacity.unwrap_or(usize::MAX),
+            events_dropped: 0,
+            prof: None,
             err: None,
             width: cfg.width,
             global_policy: cfg.global_policy,
@@ -499,6 +667,9 @@ impl<'m> Shard<'m> {
         let lt = c.thread - self.base_tid;
         if let Some(dst) = c.dst {
             self.threads[lt].state.set_reg(dst, c.value);
+        }
+        if let Some(prof) = self.prof.as_mut() {
+            prof.on_complete(lt, c.conflict);
         }
         debug_assert_eq!(self.threads[lt].status, Status::InFlight);
         self.make_runnable(lt);
@@ -535,17 +706,23 @@ impl<'m> Shard<'m> {
         // Own shared-memory completions.
         while let Some(items) = self.pipe.as_mut().and_then(|p| p.pop_due(now)) {
             if self.trace_on {
-                self.events.push(Ev {
-                    cycle: now,
-                    rank: RANK_COMPLETE,
-                    mem: mem_shared(self.dmm),
-                    event: TraceEvent::SlotCompleted {
+                buffer_ev(
+                    &mut self.events,
+                    self.trace_cap,
+                    &mut self.events_dropped,
+                    Ev {
                         cycle: now,
-                        memory: MemoryId::Shared(self.dmm),
-                        warp: self.base_warp + self.thread_warp[items[0].thread - self.base_tid],
-                        threads: items.iter().map(|c| c.thread).collect(),
+                        rank: RANK_COMPLETE,
+                        mem: mem_shared(self.dmm),
+                        event: TraceEvent::SlotCompleted {
+                            cycle: now,
+                            memory: MemoryId::Shared(self.dmm),
+                            warp: self.base_warp
+                                + self.thread_warp[items[0].thread - self.base_tid],
+                            threads: items.iter().map(|c| c.thread).collect(),
+                        },
                     },
-                });
+                );
             }
             for c in items {
                 self.complete(c);
@@ -561,6 +738,10 @@ impl<'m> Shard<'m> {
                 let lt = self.warps[wid].threads[ti];
                 if self.threads[lt].status != Status::Runnable {
                     continue;
+                }
+                let pc = self.threads[lt].state.pc;
+                if let Some(prof) = self.prof.as_mut() {
+                    prof.on_step(lt, now, pc);
                 }
                 let effect = match step(&mut self.threads[lt].state, program) {
                     Ok(e) => e,
@@ -584,6 +765,9 @@ impl<'m> Shard<'m> {
                         self.threads[lt].status = Status::Posted;
                         self.warps[wid].runnable -= 1;
                         self.warps[wid].posted += 1;
+                        if let Some(prof) = self.prof.as_mut() {
+                            prof.on_wait(lt, Wait::Mem(space), pc);
+                        }
                     }
                     StepEffect::Store { space, addr, value } => {
                         self.threads[lt].pending = Some(Posted {
@@ -596,6 +780,9 @@ impl<'m> Shard<'m> {
                         self.threads[lt].status = Status::Posted;
                         self.warps[wid].runnable -= 1;
                         self.warps[wid].posted += 1;
+                        if let Some(prof) = self.prof.as_mut() {
+                            prof.on_wait(lt, Wait::Mem(space), pc);
+                        }
                     }
                     StepEffect::Barrier(scope) => {
                         self.threads[lt].status = Status::BarrierWait(scope);
@@ -607,6 +794,9 @@ impl<'m> Shard<'m> {
                             }
                             Scope::Dmm => self.bar_dmm += 1,
                         }
+                        if let Some(prof) = self.prof.as_mut() {
+                            prof.on_wait(lt, Wait::Barrier, pc);
+                        }
                     }
                     StepEffect::Halt => {
                         self.threads[lt].status = Status::Halted;
@@ -614,6 +804,9 @@ impl<'m> Shard<'m> {
                         self.alive -= 1;
                         ctl.alive.fetch_sub(1, Ordering::SeqCst);
                         self.finish_time = now + 1;
+                        if let Some(prof) = self.prof.as_mut() {
+                            prof.on_halt(lt, now, pc);
+                        }
                     }
                 }
             }
@@ -657,16 +850,21 @@ impl<'m> Shard<'m> {
             self.release(now, Scope::Dmm);
             self.barriers += 1;
             if self.trace_on {
-                self.events.push(Ev {
-                    cycle: now,
-                    rank: RANK_BARRIER,
-                    mem: self.dmm as u32,
-                    event: TraceEvent::BarrierReleased {
+                buffer_ev(
+                    &mut self.events,
+                    self.trace_cap,
+                    &mut self.events_dropped,
+                    Ev {
                         cycle: now,
-                        dmm: Some(self.dmm),
-                        threads: n,
+                        rank: RANK_BARRIER,
+                        mem: self.dmm as u32,
+                        event: TraceEvent::BarrierReleased {
+                            cycle: now,
+                            dmm: Some(self.dmm),
+                            threads: n,
+                        },
                     },
-                });
+                );
             }
             self.bar_dmm = 0;
             self.race_ck.interval += 1;
@@ -745,6 +943,7 @@ impl<'m> Shard<'m> {
                     dsts,
                     schedule,
                     next_slot: 0,
+                    first_dispatch: 0,
                 };
                 match space {
                     Space::Global => out_txns.push(txn),
@@ -761,23 +960,35 @@ impl<'m> Shard<'m> {
         // Dispatch one shared-memory pipeline slot.
         if let Some(pipe) = self.pipe.as_mut() {
             let rck = &mut self.race_ck;
+            let depth = pipe.queue.len() + usize::from(pipe.current.is_some());
             if let Some(d) =
                 pipe.dispatch_slot(now, self.store, |txn, slot| rck.observe(now, txn, slot))
             {
+                if let Some(acc) = self.prof.as_mut().and_then(|p| p.pipe.as_mut()) {
+                    acc.on_dispatch(now, depth);
+                    if let Some((slots, _)) = d.finished {
+                        acc.on_txn_done(slots);
+                    }
+                }
                 if self.trace_on {
-                    self.events.push(Ev {
-                        cycle: now,
-                        rank: RANK_DISPATCH,
-                        mem: mem_shared(self.dmm),
-                        event: TraceEvent::SlotDispatched {
+                    buffer_ev(
+                        &mut self.events,
+                        self.trace_cap,
+                        &mut self.events_dropped,
+                        Ev {
                             cycle: now,
-                            memory: MemoryId::Shared(self.dmm),
-                            warp: d.warp,
-                            slot_index: d.slot_index,
-                            total_slots: d.total_slots,
-                            addrs: d.addrs,
+                            rank: RANK_DISPATCH,
+                            mem: mem_shared(self.dmm),
+                            event: TraceEvent::SlotDispatched {
+                                cycle: now,
+                                memory: MemoryId::Shared(self.dmm),
+                                warp: d.warp,
+                                slot_index: d.slot_index,
+                                total_slots: d.total_slots,
+                                addrs: d.addrs,
+                            },
                         },
-                    });
+                    );
                 }
                 if let Some((slots, reqs)) = d.finished {
                     self.stats.record(slots, reqs);
@@ -816,6 +1027,10 @@ struct Coord<'m> {
     thread_warp: Vec<usize>,
     events: Vec<Ev>,
     trace_on: bool,
+    trace_cap: usize,
+    events_dropped: u64,
+    /// Global pipeline occupancy accumulator (profiling only).
+    prof: Option<PipeAcc>,
     stats: MemoryStats,
     barriers: u64,
 }
@@ -826,17 +1041,22 @@ impl Coord<'_> {
     fn route(&mut self, now: u64, mut deliver: impl FnMut(usize, Vec<Completion>)) {
         while let Some(items) = self.pipe.pop_due(now) {
             if self.trace_on {
-                self.events.push(Ev {
-                    cycle: now,
-                    rank: RANK_COMPLETE,
-                    mem: MEM_GLOBAL,
-                    event: TraceEvent::SlotCompleted {
+                buffer_ev(
+                    &mut self.events,
+                    self.trace_cap,
+                    &mut self.events_dropped,
+                    Ev {
                         cycle: now,
-                        memory: MemoryId::Global,
-                        warp: self.thread_warp[items[0].thread],
-                        threads: items.iter().map(|c| c.thread).collect(),
+                        rank: RANK_COMPLETE,
+                        mem: MEM_GLOBAL,
+                        event: TraceEvent::SlotCompleted {
+                            cycle: now,
+                            memory: MemoryId::Global,
+                            warp: self.thread_warp[items[0].thread],
+                            threads: items.iter().map(|c| c.thread).collect(),
+                        },
                     },
-                });
+                );
             }
             deliver(self.thread_dmm[items[0].thread], items);
         }
@@ -846,16 +1066,21 @@ impl Coord<'_> {
     fn note_global_release(&mut self, now: u64, waiting: usize) {
         self.barriers += 1;
         if self.trace_on {
-            self.events.push(Ev {
-                cycle: now,
-                rank: RANK_BARRIER,
-                mem: MEM_MACHINE_BARRIER,
-                event: TraceEvent::BarrierReleased {
+            buffer_ev(
+                &mut self.events,
+                self.trace_cap,
+                &mut self.events_dropped,
+                Ev {
                     cycle: now,
-                    dmm: None,
-                    threads: waiting,
+                    rank: RANK_BARRIER,
+                    mem: MEM_MACHINE_BARRIER,
+                    event: TraceEvent::BarrierReleased {
+                        cycle: now,
+                        dmm: None,
+                        threads: waiting,
+                    },
                 },
-            });
+            );
         }
     }
 
@@ -865,21 +1090,33 @@ impl Coord<'_> {
         for t in txns {
             self.pipe.queue.push_back(t);
         }
+        let depth = self.pipe.queue.len() + usize::from(self.pipe.current.is_some());
         if let Some(d) = self.pipe.dispatch_slot(now, self.store, |_, _| {}) {
+            if let Some(acc) = self.prof.as_mut() {
+                acc.on_dispatch(now, depth);
+                if let Some((slots, _)) = d.finished {
+                    acc.on_txn_done(slots);
+                }
+            }
             if self.trace_on {
-                self.events.push(Ev {
-                    cycle: now,
-                    rank: RANK_DISPATCH,
-                    mem: MEM_GLOBAL,
-                    event: TraceEvent::SlotDispatched {
+                buffer_ev(
+                    &mut self.events,
+                    self.trace_cap,
+                    &mut self.events_dropped,
+                    Ev {
                         cycle: now,
-                        memory: MemoryId::Global,
-                        warp: d.warp,
-                        slot_index: d.slot_index,
-                        total_slots: d.total_slots,
-                        addrs: d.addrs,
+                        rank: RANK_DISPATCH,
+                        mem: MEM_GLOBAL,
+                        event: TraceEvent::SlotDispatched {
+                            cycle: now,
+                            memory: MemoryId::Global,
+                            warp: d.warp,
+                            slot_index: d.slot_index,
+                            total_slots: d.total_slots,
+                            addrs: d.addrs,
+                        },
                     },
-                });
+                );
             }
             if let Some((slots, reqs)) = d.finished {
                 self.stats.record(slots, reqs);
@@ -1137,6 +1374,16 @@ pub(crate) fn run(
         shards.push(Shard::new(
             d, base_tid, base_warp, pd, p, cfg, &spec.args, store,
         ));
+        if cfg.profile {
+            let s = shards.last_mut().expect("just pushed");
+            let acc = s.pipe.is_some().then(|| PipeAcc::new(cfg.profile_buckets));
+            s.prof = Some(ShardProf::new(
+                &s.thread_warp,
+                s.warps.len(),
+                spec.program.len(),
+                acc,
+            ));
+        }
         base_tid += pd;
         base_warp += pd.div_ceil(w);
     }
@@ -1148,6 +1395,9 @@ pub(crate) fn run(
         thread_warp,
         events: Vec::new(),
         trace_on: cfg.trace,
+        trace_cap: cfg.trace_capacity.unwrap_or(usize::MAX),
+        events_dropped: 0,
+        prof: cfg.profile.then(|| PipeAcc::new(cfg.profile_buckets)),
         stats: MemoryStats::default(),
         barriers: 0,
     };
@@ -1179,19 +1429,84 @@ pub(crate) fn run(
         }
     }
 
+    // Cycle-accounting profile, merged in DMM order like everything else:
+    // warps are numbered DMM-major, so concatenating per-shard warp rows
+    // reproduces the global warp table; pipeline timelines rescale to the
+    // widest bucket before folding.
+    let profile = if cfg.profile {
+        let time = report.time;
+        let mut total = CategoryCounts::default();
+        let mut per_warp: Vec<CategoryCounts> = Vec::new();
+        let mut per_dmm: Vec<CategoryCounts> = Vec::new();
+        let mut per_pc: Vec<CategoryCounts> = vec![CategoryCounts::default(); spec.program.len()];
+        let mut shared_accs: Vec<PipeAcc> = Vec::new();
+        for s in &mut shards {
+            let mut prof = s.prof.take().expect("profiling enabled");
+            prof.close(time);
+            let mut dmm_counts = CategoryCounts::default();
+            for counts in &prof.warps {
+                dmm_counts.merge(counts);
+                per_warp.push(*counts);
+            }
+            total.merge(&dmm_counts);
+            per_dmm.push(dmm_counts);
+            for (acc, c) in per_pc.iter_mut().zip(prof.per_pc.iter()) {
+                acc.merge(c);
+            }
+            if let Some(acc) = prof.pipe {
+                shared_accs.push(acc);
+            }
+        }
+        let mut gacc = coord.prof.take().expect("profiling enabled");
+        let bw = shared_accs
+            .iter()
+            .map(PipeAcc::width)
+            .fold(gacc.width(), u64::max);
+        gacc.rescale_to(bw);
+        let shared_pipes = shared_accs
+            .into_iter()
+            .map(|mut a| {
+                a.rescale_to(bw);
+                a.finish(time)
+            })
+            .collect();
+        Some(LaunchProfile {
+            label: String::new(),
+            time,
+            threads: p,
+            width: w,
+            total,
+            per_warp,
+            per_dmm,
+            per_pc,
+            bucket_width: bw,
+            global_pipe: gacc.finish(time),
+            shared_pipes,
+            program: spec.program.clone(),
+        })
+    } else {
+        None
+    };
+
     let trace = if cfg.trace {
+        let cap = cfg.trace_capacity.unwrap_or(usize::MAX);
+        let mut produced = coord.events_dropped + coord.events.len() as u64;
         let mut evs = coord.events;
         for s in &mut shards {
+            produced += s.events_dropped + s.events.len() as u64;
             evs.append(&mut s.events);
         }
         // Stable sort: each (cycle, rank, mem) key has a single producer,
         // whose events are already in order — this reproduces the exact
         // event sequence of single-threaded execution.
         evs.sort_by_key(|e| (e.cycle, e.rank, e.mem));
+        evs.truncate(cap);
         let mut t = Trace::new();
         for e in evs {
             t.push(e.event);
         }
+        t.note_dropped(produced - t.events().len() as u64);
+        report.trace_dropped_events = t.dropped_events();
         Some(t)
     } else {
         None
@@ -1213,5 +1528,6 @@ pub(crate) fn run(
         report,
         trace,
         races,
+        profile,
     })
 }

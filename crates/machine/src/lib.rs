@@ -38,6 +38,7 @@ pub mod error;
 mod exec;
 pub mod isa;
 pub mod kbuild;
+pub mod profile;
 pub mod request;
 pub mod stats;
 pub mod trace;
@@ -50,6 +51,7 @@ pub use disasm::disassemble;
 pub use engine::{DynamicRace, Engine, EngineConfig, LaunchSpec, MemoryKind, Parallelism};
 pub use error::{SimError, SimResult};
 pub use isa::{Inst, Operand, Program, Reg, Scope, Space};
+pub use profile::{CategoryCounts, LaunchProfile, PipelineProfile, StallCategory};
 pub use request::{AccessKind, ConflictPolicy, Request, SlotSchedule};
 pub use stats::SimReport;
 pub use trace::{Trace, TraceEvent};

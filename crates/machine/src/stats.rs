@@ -98,6 +98,9 @@ pub struct SimReport {
     /// Shared-memory race pairs observed by the debug-build dynamic race
     /// checker (always 0 in release builds — the checker is compiled out).
     pub shared_races: u64,
+    /// Trace events produced but not retained under the engine's
+    /// `trace_capacity` bound (0 when tracing is off or unbounded).
+    pub trace_dropped_events: u64,
 }
 
 impl SimReport {
@@ -161,10 +164,28 @@ impl SimReport {
             ("barriers", self.barriers.into()),
             ("threads", self.threads.into()),
             ("shared_races", self.shared_races.into()),
+            ("trace_dropped_events", self.trace_dropped_events.into()),
+            // Derived metrics, serialised so JSON consumers need not
+            // recompute them; `from_json` ignores this object.
+            (
+                "derived",
+                Value::object(vec![
+                    ("global_utilization", self.global_utilization().into()),
+                    ("shared_utilization", self.shared_utilization().into()),
+                    (
+                        "global_requests_per_slot",
+                        self.global_requests_per_slot().into(),
+                    ),
+                ]),
+            ),
         ])
     }
 
     /// Rebuild from [`SimReport::to_json`] output.
+    ///
+    /// Fields added after a report was serialised are tolerated: absent
+    /// counters default to 0 and the `derived` object is recomputed from
+    /// the counters, so old golden reports keep loading.
     #[must_use]
     pub fn from_json(v: &Value) -> Option<Self> {
         let per_dmm: Option<Vec<MemoryStats>> = v["shared_per_dmm"]
@@ -182,6 +203,8 @@ impl SimReport {
             threads: usize::try_from(v["threads"].as_u64()?).ok()?,
             // Absent in reports serialised before the race checker existed.
             shared_races: v["shared_races"].as_u64().unwrap_or(0),
+            // Absent in reports serialised before trace capping existed.
+            trace_dropped_events: v["trace_dropped_events"].as_u64().unwrap_or(0),
         })
     }
 }
@@ -243,7 +266,40 @@ mod tests {
             ..SimReport::default()
         };
         let s = r.to_json().to_json_pretty();
-        let back = SimReport::from_json(&hmm_util::json::parse(&s).unwrap()).unwrap();
+        let v = hmm_util::json::parse(&s).unwrap();
+        // Derived metrics ride along for JSON consumers.
+        assert!(v["derived"]["global_utilization"].as_f64().is_some());
+        assert!(v["derived"]["shared_utilization"].as_f64().is_some());
+        let back = SimReport::from_json(&v).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn old_format_reports_still_load() {
+        // A golden report serialised before `trace_dropped_events`,
+        // `shared_races` and `derived` existed: absent fields default.
+        let old = r#"{
+            "time": 7,
+            "instructions": 21,
+            "global": {"transactions": 1, "slots": 1,
+                       "conflicted_transactions": 0,
+                       "max_slots_per_transaction": 1, "requests": 4},
+            "shared": {"transactions": 0, "slots": 0,
+                       "conflicted_transactions": 0,
+                       "max_slots_per_transaction": 0, "requests": 0},
+            "shared_per_dmm": [],
+            "barriers": 0,
+            "threads": 4
+        }"#;
+        let r = SimReport::from_json(&hmm_util::json::parse(old).unwrap()).unwrap();
+        assert_eq!(r.time, 7);
+        assert_eq!(r.shared_races, 0);
+        assert_eq!(r.trace_dropped_events, 0);
+        // Round-trip: the modern serialisation of the old report loads
+        // back to the same value.
+        let again =
+            SimReport::from_json(&hmm_util::json::parse(&r.to_json().to_json_pretty()).unwrap())
+                .unwrap();
+        assert_eq!(again, r);
     }
 }

@@ -70,9 +70,16 @@ pub enum TraceEvent {
 }
 
 /// A recorded sequence of events.
+///
+/// When the engine runs with a [`crate::EngineConfig::trace_capacity`]
+/// bound, only the first `capacity` events (in canonical order) are
+/// kept and [`Trace::dropped_events`] counts the rest — long sweeps
+/// with tracing enabled cannot grow without limit. The default is
+/// unbounded.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    dropped: u64,
 }
 
 impl Trace {
@@ -85,6 +92,25 @@ impl Trace {
     /// Append an event.
     pub fn push(&mut self, e: TraceEvent) {
         self.events.push(e);
+    }
+
+    /// Record that `n` events were produced but not retained (used by
+    /// the engine when a capacity bound truncates the log).
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Events produced by the run but not retained under the capacity
+    /// bound.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether any event was dropped by a capacity bound.
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.dropped > 0
     }
 
     /// All recorded events in order.
@@ -128,5 +154,16 @@ mod tests {
         assert_eq!(t.dispatches(MemoryId::Shared(1)).count(), 1);
         assert_eq!(t.dispatches(MemoryId::Shared(0)).count(), 0);
         assert_eq!(MemoryId::Shared(1).space(), Space::Shared);
+    }
+
+    #[test]
+    fn dropped_events_mark_truncation() {
+        let mut t = Trace::new();
+        assert!(!t.is_truncated());
+        assert_eq!(t.dropped_events(), 0);
+        t.note_dropped(3);
+        t.note_dropped(2);
+        assert!(t.is_truncated());
+        assert_eq!(t.dropped_events(), 5);
     }
 }

@@ -1,0 +1,166 @@
+//! Chrome/Perfetto `trace_events` rendering of engine traces.
+//!
+//! The output is the classic "JSON array format" both `chrome://tracing`
+//! and <https://ui.perfetto.dev> load: a bare array of event objects,
+//! each with a phase `ph`, timestamp `ts` (we use the simulated cycle as
+//! the microsecond timestamp) and process id `pid`. Processes model the
+//! machine's memories: pid 0 is the machine itself (barrier instants),
+//! pid 1 the global (UMM) pipeline, pid `2 + d` the shared pipeline of
+//! DMM `d`; within a memory the thread id is the warp that owns the
+//! transaction. When a [`LaunchProfile`] is supplied its bucketed
+//! occupancy timelines additionally become counter (`"C"`) tracks.
+
+use hmm_machine::profile::PipelineProfile;
+use hmm_machine::trace::MemoryId;
+use hmm_machine::{LaunchProfile, Trace, TraceEvent};
+use hmm_util::json::Value;
+
+/// Process id of the machine-wide track (barriers).
+pub const MACHINE_PID: u64 = 0;
+/// Process id of the global (UMM) pipeline track.
+pub const GLOBAL_PID: u64 = 1;
+/// Process id of DMM 0's shared pipeline; DMM `d` gets `SHARED_PID0 + d`.
+pub const SHARED_PID0: u64 = 2;
+
+fn pid_of(m: MemoryId) -> u64 {
+    match m {
+        MemoryId::Global => GLOBAL_PID,
+        MemoryId::Shared(d) => SHARED_PID0 + d as u64,
+    }
+}
+
+fn process_name(pid: u64, name: &str) -> Value {
+    Value::object(vec![
+        ("ph", "M".into()),
+        ("ts", 0u64.into()),
+        ("pid", pid.into()),
+        ("tid", 0u64.into()),
+        ("name", "process_name".into()),
+        ("args", Value::object(vec![("name", name.into())])),
+    ])
+}
+
+fn counter_track(evs: &mut Vec<Value>, pid: u64, name: &str, width: u64, pipe: &PipelineProfile) {
+    for (i, &slots) in pipe.buckets.iter().enumerate() {
+        evs.push(Value::object(vec![
+            ("ph", "C".into()),
+            ("ts", (i as u64 * width).into()),
+            ("pid", pid.into()),
+            ("tid", 0u64.into()),
+            ("name", name.into()),
+            ("args", Value::object(vec![("slots", slots.into())])),
+        ]));
+    }
+}
+
+/// Render a trace (and, optionally, the matching profile's occupancy
+/// counters) as one Perfetto-loadable `trace_events` JSON array.
+#[must_use]
+pub fn trace_to_perfetto(trace: &Trace, profile: Option<&LaunchProfile>) -> Value {
+    let mut evs = Vec::new();
+    evs.push(process_name(MACHINE_PID, "machine"));
+    evs.push(process_name(GLOBAL_PID, "global memory (UMM)"));
+    let traced_dmms = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SlotDispatched {
+                memory: MemoryId::Shared(d),
+                ..
+            }
+            | TraceEvent::SlotCompleted {
+                memory: MemoryId::Shared(d),
+                ..
+            } => Some(*d + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let dmms = traced_dmms.max(profile.map_or(0, |p| p.shared_pipes.len()));
+    for d in 0..dmms {
+        evs.push(process_name(
+            SHARED_PID0 + d as u64,
+            &format!("dmm {d} shared memory"),
+        ));
+    }
+
+    for e in trace.events() {
+        match e {
+            TraceEvent::SlotDispatched {
+                cycle,
+                memory,
+                warp,
+                slot_index,
+                total_slots,
+                addrs,
+            } => evs.push(Value::object(vec![
+                ("ph", "X".into()),
+                ("ts", (*cycle).into()),
+                ("dur", 1u64.into()),
+                ("pid", pid_of(*memory).into()),
+                ("tid", (*warp).into()),
+                (
+                    "name",
+                    format!("slot {}/{total_slots}", slot_index + 1).into(),
+                ),
+                ("args", Value::object(vec![("addrs", addrs.len().into())])),
+            ])),
+            TraceEvent::SlotCompleted {
+                cycle,
+                memory,
+                warp,
+                threads,
+            } => evs.push(Value::object(vec![
+                ("ph", "i".into()),
+                ("ts", (*cycle).into()),
+                ("pid", pid_of(*memory).into()),
+                ("tid", (*warp).into()),
+                ("name", "complete".into()),
+                ("s", "t".into()),
+                (
+                    "args",
+                    Value::object(vec![("threads", threads.len().into())]),
+                ),
+            ])),
+            TraceEvent::BarrierReleased {
+                cycle,
+                dmm,
+                threads,
+            } => {
+                let name = match dmm {
+                    Some(d) => format!("barrier dmm {d}"),
+                    None => "barrier global".to_string(),
+                };
+                evs.push(Value::object(vec![
+                    ("ph", "i".into()),
+                    ("ts", (*cycle).into()),
+                    ("pid", MACHINE_PID.into()),
+                    ("tid", 0u64.into()),
+                    ("name", name.into()),
+                    ("s", "p".into()),
+                    ("args", Value::object(vec![("threads", (*threads).into())])),
+                ]));
+            }
+        }
+    }
+
+    if let Some(p) = profile {
+        counter_track(
+            &mut evs,
+            GLOBAL_PID,
+            "global slots/bucket",
+            p.bucket_width,
+            &p.global_pipe,
+        );
+        for (d, pipe) in p.shared_pipes.iter().enumerate() {
+            counter_track(
+                &mut evs,
+                SHARED_PID0 + d as u64,
+                &format!("dmm {d} slots/bucket"),
+                p.bucket_width,
+                pipe,
+            );
+        }
+    }
+    Value::Array(evs)
+}

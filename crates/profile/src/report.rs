@@ -1,0 +1,173 @@
+//! Plain-text profile reports for `hmm-cli profile`.
+
+use std::fmt::Write as _;
+
+use hmm_machine::disasm::render_inst;
+use hmm_machine::profile::{CategoryCounts, LaunchProfile, StallCategory, HIST_OVERFLOW};
+
+const BAR_WIDTH: usize = 24;
+const SPARK: [char; 9] = [
+    ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+    '\u{2588}',
+];
+
+fn bar(frac: f64) -> String {
+    let n = (frac * BAR_WIDTH as f64).round() as usize;
+    "#".repeat(n.min(BAR_WIDTH))
+}
+
+/// Bucketed occupancy as a sparkline; `cap` is the densest possible
+/// bucket (one slot per cycle × bucket width).
+fn sparkline(buckets: &[u64], cap: u64) -> String {
+    buckets
+        .iter()
+        .map(|&b| {
+            let idx = if cap == 0 {
+                0
+            } else {
+                (b.saturating_mul(8).div_ceil(cap)) as usize
+            };
+            SPARK[idx.min(8)]
+        })
+        .collect()
+}
+
+/// Histogram as `value:count` pairs, zero bins skipped, the overflow bin
+/// rendered as `>=HIST_OVERFLOW`.
+fn hist_line(h: &[u64]) -> String {
+    let parts: Vec<String> = h
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| {
+            if i == HIST_OVERFLOW {
+                format!(">={i}:{n}")
+            } else {
+                format!("{i}:{n}")
+            }
+        })
+        .collect();
+    if parts.is_empty() {
+        "-".to_string()
+    } else {
+        parts.join("  ")
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Hotspot weight: cycles the instruction is responsible for while the
+/// launch is live (everything but the retired tail).
+fn live_cycles(c: &CategoryCounts) -> u64 {
+    c.total() - c.get(StallCategory::Retired)
+}
+
+/// Render the text report: category breakdown, per-DMM table, pipeline
+/// occupancy sparklines and histograms, and the `top`-N per-instruction
+/// hotspot table with disassembled instruction text.
+#[must_use]
+pub fn render_report(p: &LaunchProfile, top: usize) -> String {
+    let mut out = String::new();
+    let label = if p.label.is_empty() {
+        "(unnamed launch)"
+    } else {
+        p.label.as_str()
+    };
+    let tc = p.thread_cycles();
+    let _ = writeln!(out, "launch profile: {label}");
+    let _ = writeln!(
+        out,
+        "time {}  threads {}  width {}  thread-cycles {}",
+        p.time, p.threads, p.width, tc
+    );
+    if !p.is_conserved() {
+        let _ = writeln!(out, "WARNING: accounting does not conserve threads x time");
+    }
+
+    let _ = writeln!(out, "\ncycle breakdown (all thread-cycles, exclusive):");
+    for cat in StallCategory::ALL {
+        let n = p.total.get(cat);
+        let f = p.fraction(cat);
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12}  {:>5.1}%  {}",
+            cat.name(),
+            n,
+            100.0 * f,
+            bar(f)
+        );
+    }
+
+    if p.per_dmm.len() > 1 {
+        let _ = writeln!(out, "\nper-DMM (% of the DMM's thread-cycles):");
+        let _ = writeln!(out, "  dmm      issued   stalled   retired");
+        for (d, c) in p.per_dmm.iter().enumerate() {
+            let t = c.total();
+            let _ = writeln!(
+                out,
+                "  {d:>3}  {:>8.1}%  {:>7.1}%  {:>7.1}%",
+                pct(c.get(StallCategory::Issued), t),
+                pct(c.stalled(), t),
+                pct(c.get(StallCategory::Retired), t)
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\nglobal pipe: {} slots, bucket width {}",
+        p.global_pipe.slots, p.bucket_width
+    );
+    let _ = writeln!(
+        out,
+        "  occupancy  |{}|",
+        sparkline(&p.global_pipe.buckets, p.bucket_width)
+    );
+    let _ = writeln!(
+        out,
+        "  slots/txn  {}",
+        hist_line(&p.global_pipe.slots_per_txn)
+    );
+    let _ = writeln!(
+        out,
+        "  queue depth {}",
+        hist_line(&p.global_pipe.queue_depth)
+    );
+    for (d, pipe) in p.shared_pipes.iter().enumerate() {
+        let _ = writeln!(out, "shared pipe dmm {d}: {} slots", pipe.slots);
+        let _ = writeln!(
+            out,
+            "  occupancy  |{}|",
+            sparkline(&pipe.buckets, p.bucket_width)
+        );
+        let _ = writeln!(out, "  slots/txn  {}", hist_line(&pipe.slots_per_txn));
+        let _ = writeln!(out, "  queue depth {}", hist_line(&pipe.queue_depth));
+    }
+
+    let mut order: Vec<usize> = (0..p.per_pc.len()).collect();
+    order.sort_by_key(|&pc| (std::cmp::Reverse(live_cycles(&p.per_pc[pc])), pc));
+    let shown = top.min(order.len());
+    let _ = writeln!(out, "\ntop {shown} hotspots (by non-retired cycles):");
+    let _ = writeln!(out, "    pc    issued     stall     total  instruction");
+    for &pc in order.iter().take(shown) {
+        let c = &p.per_pc[pc];
+        if live_cycles(c) == 0 {
+            break;
+        }
+        let inst = p.program.get(pc).map(render_inst).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {pc:>4}  {:>8}  {:>8}  {:>8}  {inst}",
+            c.get(StallCategory::Issued),
+            c.stalled(),
+            live_cycles(c)
+        );
+    }
+    out
+}
