@@ -25,6 +25,7 @@ pub mod affine;
 pub mod barrier;
 pub mod cfg;
 pub mod conflict;
+pub mod cost;
 pub mod dataflow;
 pub mod diag;
 pub mod examples;
@@ -37,6 +38,7 @@ use hmm_util::json::Value;
 use std::fmt::Write as _;
 
 pub use conflict::{AccessReport, Degree};
+pub use cost::{inflation, predict, CostEstimate, ThetaTerms};
 pub use diag::{Code, Diagnostic, Severity};
 
 /// The machine shape the analysis assumes. Mirrors

@@ -1,0 +1,77 @@
+//! Autotuner payoff benchmark: untuned default vs tuned winner for the
+//! stock algorithm families.
+//!
+//! For each family the tuner runs its golden configuration (fixed seed,
+//! fixed space, grid strategy) and the baseline/winner simulated time
+//! units are recorded — plus the cost model's mean absolute
+//! predicted-vs-measured error, so drift in the predictor shows up in
+//! the dump and not just in the golden tests. Everything recorded here
+//! is simulated time, so the file is deterministic and diffable; it is
+//! written to `BENCH_tune.json` at the repository root.
+//!
+//! Run with `cargo bench -p hmm-bench --bench tune`.
+
+use hmm_tune::{tune, StrategyKind, TuneConfig, TuneSpace};
+use hmm_util::Value;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (algo, n, space) in [
+        (
+            "sum",
+            512usize,
+            "warps=1,2,4;pad=0,1;swizzle=0,1;unroll=1,2",
+        ),
+        ("conv", 256, "warps=1,2;pad=0,1;transpose=0,1;unroll=1,2"),
+    ] {
+        let mut cfg = TuneConfig::new(algo);
+        cfg.n = n;
+        cfg.seed = 42;
+        cfg.budget = 64;
+        cfg.strategy = StrategyKind::Grid;
+        cfg.space = TuneSpace::parse(space).expect("bench space parses");
+        let report = tune(&cfg).expect("bench tune run");
+        assert!(
+            report.winner_time <= report.baseline_time,
+            "{algo}: tuned winner slower than the untuned default"
+        );
+        println!(
+            "  {algo}: baseline {} ({}) -> tuned {} ({}), {:.2}x, mean |err| {:.1}%",
+            report.baseline_time,
+            report.baseline_id,
+            report.winner_time,
+            report.winner_id,
+            report.speedup,
+            report.mean_abs_error_pct
+        );
+        rows.push(Value::object(vec![
+            ("algo", algo.into()),
+            ("n", n.into()),
+            ("space", space.into()),
+            ("budget", cfg.budget.into()),
+            ("seed", cfg.seed.into()),
+            ("baseline_id", report.baseline_id.as_str().into()),
+            ("baseline_time", report.baseline_time.into()),
+            ("winner_id", report.winner_id.as_str().into()),
+            ("winner_time", report.winner_time.into()),
+            ("speedup", report.speedup.into()),
+            ("evaluated", report.evaluated.into()),
+            ("mean_abs_error_pct", report.mean_abs_error_pct.into()),
+        ]));
+    }
+
+    let doc = Value::object(vec![
+        ("bench", "tune".into()),
+        (
+            "note",
+            "simulated time units (deterministic): the autotuner's winner vs the \
+             untuned default per algorithm family, with the static cost model's \
+             mean absolute prediction error over all measured candidates."
+                .into(),
+        ),
+        ("workloads", Value::Array(rows)),
+    ]);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_tune.json");
+    std::fs::write(&path, doc.to_json_pretty()).expect("write BENCH_tune.json");
+    println!("\n  [dump] {}", path.display());
+}

@@ -10,15 +10,16 @@
 //!    during staging.
 //!
 //! Both sweeps fan their independent points out over a [`BatchRunner`];
-//! results return in sweep order, so output is identical at any thread
-//! count.
+//! each result comes back [`Keyed`] by the sweep point that produced it
+//! and in sweep order, so output is identical at any thread count and
+//! rows can never be mis-attributed.
 //!
 //! Run with `cargo run --release -p hmm-bench --bin sweep_conv`.
 
 use hmm_algorithms::convolution::hmm::shared_words;
 use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_bench::{dump, header, row, Measurement};
-use hmm_core::{BatchRunner, Machine, Parallelism};
+use hmm_core::{BatchRunner, Keyed, Machine, Parallelism};
 use hmm_theory::{table1, Params};
 use hmm_workloads::random_words;
 
@@ -56,10 +57,12 @@ fn main() {
     header(&["k", "umm-T8", "hmm-T9", "T9-pred", "speedup"]);
     let l = 256;
     let k_points = vec![4usize, 8, 16, 32, 64, 128];
-    let k_results = runner.run(k_points, |k| {
-        (k, conv_pair(n, k, p, w, l, d, (k as u64, 77)))
-    });
-    for (k, (t8, t9)) in k_results {
+    let k_results = runner.run_keyed(k_points, |&k| conv_pair(n, k, p, w, l, d, (k as u64, 77)));
+    for Keyed {
+        config: k,
+        result: (t8, t9),
+    } in k_results
+    {
         let pr = Params { n, k, p, w, l, d };
         let pred = table1::conv_hmm(pr);
         row(&[
@@ -82,8 +85,12 @@ fn main() {
     header(&["l", "umm-T8", "hmm-T9", "speedup"]);
     let k = 32;
     let l_points = vec![1usize, 16, 64, 256, 512];
-    let l_results = runner.run(l_points, |l| (l, conv_pair(n, k, p, w, l, d, (9, 10))));
-    for (l, (t8, t9)) in l_results {
+    let l_results = runner.run_keyed(l_points, |&l| conv_pair(n, k, p, w, l, d, (9, 10)));
+    for Keyed {
+        config: l,
+        result: (t8, t9),
+    } in l_results
+    {
         let pr = Params { n, k, p, w, l, d };
         row(&[
             l.to_string(),

@@ -12,14 +12,16 @@
 //!    bandwidth) is what the model's bounds rest on.
 //!
 //! Sweeps 1 and 2 fan their independent points out over a
-//! [`BatchRunner`]; results return in sweep order, so the printed tables
-//! and the JSON dump are identical at any thread count.
+//! [`BatchRunner`]; each result comes back [`Keyed`] by the sweep point
+//! that produced it and in sweep order, so the printed tables and the
+//! JSON dump are identical at any thread count and can never
+//! mis-attribute a row.
 //!
 //! Run with `cargo run --release -p hmm-bench --bin sweep_sum`.
 
 use hmm_algorithms::sum::{run_sum_dmm_umm, run_sum_hmm, run_sum_hmm_single_dmm};
 use hmm_bench::{dump, header, row, Measurement};
-use hmm_core::{BatchRunner, Machine, ModelKind, Parallelism};
+use hmm_core::{BatchRunner, Keyed, Machine, ModelKind, Parallelism};
 use hmm_machine::EngineConfig;
 use hmm_theory::{table1, Params};
 use hmm_workloads::random_words;
@@ -35,7 +37,7 @@ fn main() {
     header(&["l", "umm-L5", "hmm1-L6", "hmm-T7", "T7-pred"]);
     let (p, d) = (2048usize, 16usize);
     let latency_points = vec![1usize, 8, 32, 128, 512];
-    let latency_results = runner.run(latency_points, |l| {
+    let latency_results = runner.run_keyed(latency_points, |&l| {
         let mut umm =
             Machine::umm(w, l, n.next_power_of_two()).with_parallelism(Parallelism::Sequential);
         let t5 = run_sum_dmm_umm(&mut umm, &input, p).unwrap().report.time;
@@ -51,9 +53,13 @@ fn main() {
         let mut hmm = Machine::hmm(d, w, l, n + 32, (p / d).next_power_of_two())
             .with_parallelism(Parallelism::Sequential);
         let t7 = run_sum_hmm(&mut hmm, &input, p).unwrap().report.time;
-        (l, t5, t6, t7)
+        (t5, t6, t7)
     });
-    for (l, t5, t6, t7) in latency_results {
+    for Keyed {
+        config: l,
+        result: (t5, t6, t7),
+    } in latency_results
+    {
         let pr = Params {
             n,
             k: 1,
@@ -83,14 +89,18 @@ fn main() {
     header(&["d", "p", "hmm-T7", "T7-pred"]);
     let l = 256;
     let dmm_points = vec![1usize, 2, 4, 8, 16, 32];
-    let dmm_results = runner.run(dmm_points, |d| {
+    let dmm_results = runner.run_keyed(dmm_points, |&d| {
         let p = 128 * d;
         let mut hmm = Machine::hmm(d, w, l, n + 2 * d.next_power_of_two(), 256)
             .with_parallelism(Parallelism::Sequential);
         let t7 = run_sum_hmm(&mut hmm, &input, p).unwrap().report.time;
-        (d, p, t7)
+        (p, t7)
     });
-    for (d, p, t7) in dmm_results {
+    for Keyed {
+        config: d,
+        result: (p, t7),
+    } in dmm_results
+    {
         let pr = Params {
             n,
             k: 1,

@@ -10,6 +10,7 @@
 //!   prefix     prefix sums
 //!   sort       bitonic sort
 //!   profile    cycle-accounting profile of a kernel (profile sum-hmm)
+//!   tune       autotune a kernel's config/layout (tune sum --budget 64)
 //!   lint       static analysis of the named kernels (exit 2 on errors)
 //!   info       print machine presets
 //!
@@ -28,6 +29,15 @@
 //!   --top N                 hotspot rows in the text report (default 10)
 //!   --profile-out FILE      write the profile JSON document
 //!   --perfetto-out FILE     write a Perfetto trace_events JSON file
+//!
+//! tune flags:
+//!   tune <sum|conv>         algorithm family to tune
+//!   --space SPEC            search space (`warps=1,2,4;pad=0,1;swizzle=0,1`)
+//!   --strategy grid|random|hill
+//!   --seed S --budget B     measurement budget (baseline not counted)
+//!   --threads N             measurement workers (results identical at any N)
+//!   --out FILE              write the TuneReport JSON document
+//!   --top N                 leaderboard rows in the text report
 //! ```
 //!
 //! The argument grammar is `--key value` pairs after the command; the
@@ -40,6 +50,7 @@ pub mod args;
 pub mod lint;
 mod profile;
 pub mod run;
+mod tune;
 
 pub use args::{Args, ParseError};
 pub use run::{execute, Outcome};

@@ -16,13 +16,17 @@ fn main() {
     if tokens.is_empty() || tokens[0] == "--help" || tokens[0] == "help" {
         emit(
             "hmm-cli — run the HMM paper's algorithms on simulated machines\n\n\
-             usage: hmm-cli <sum|reduce|conv|prefix|sort|profile|batch|lint|info> [--key value]... [--json]\n\
+             usage: hmm-cli <sum|reduce|conv|prefix|sort|profile|tune|batch|lint|info> [--key value]... [--json]\n\
              flags: --machine dmm|umm|hmm  --n --k --p --w --l --d --seed --op sum|min|max\n\
                     --threads N   engine worker threads (default: HMM_THREADS env, else all cores)\n\
              profile: hmm-cli profile <algo>[-<machine>] [--buckets B] [--top N]\n\
                     [--profile-out FILE] [--perfetto-out FILE]   (cycle-accounting stall breakdown)\n\
+             tune:  hmm-cli tune <sum|conv> [--space SPEC] [--strategy grid|random|hill]\n\
+                    [--seed S] [--budget B] [--threads N] [--out FILE] [--top N]\n\
+                    (deterministic autotune: predict, prune, measure, explain)\n\
              batch: hmm-cli batch --cmd <sum|reduce|conv|prefix|sort> --sweep <n|k|p|w|l|d>\n\
-                    [--values a,b,c | --from A --to B] [--threads N]   (parallel parameter sweep)\n\
+                    [--values a,b,c | --from A --to B] [--threads N]\n\
+                    (parallel parameter sweep; exit 2 if any point errors)\n\
              lint:  hmm-cli lint --all | --kernel <name>   (exit 2 on error findings)\n\n\
              example: hmm-cli conv --machine hmm --n 4096 --k 64 --p 2048 --d 16 --json",
         );
@@ -34,7 +38,7 @@ fn main() {
     {
         Ok((json, outcome)) => {
             emit(&hmm_cli::run::render(&outcome, json));
-            if outcome.lint_failed {
+            if outcome.lint_failed || outcome.batch_failed {
                 std::process::exit(2);
             }
         }

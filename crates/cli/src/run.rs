@@ -5,7 +5,7 @@ use hmm_algorithms::convolution::{run_conv_dmm_umm, run_conv_hmm};
 use hmm_algorithms::prefix::{prefix_shared_words, run_prefix_dmm_umm, run_prefix_hmm};
 use hmm_algorithms::reduce::{run_reduce_dmm_umm, run_reduce_hmm, ReduceOp};
 use hmm_algorithms::sort::{run_sort_hmm, run_sort_umm};
-use hmm_core::{presets, BatchRunner, Machine, Parallelism};
+use hmm_core::{presets, BatchRunner, Keyed, Machine, Parallelism};
 use hmm_machine::SimReport;
 use hmm_workloads::random_words;
 
@@ -27,9 +27,15 @@ pub struct Outcome {
     /// JSON payload for `profile` runs: the cycle-accounting profile
     /// document (None for other commands).
     pub profile: Option<hmm_util::Value>,
+    /// JSON payload for `tune` runs: the full [`hmm_tune::TuneReport`]
+    /// document (None for other commands).
+    pub tune: Option<hmm_util::Value>,
     /// Whether lint found error-severity diagnostics; the binary exits
     /// with status 2 when set.
     pub lint_failed: bool,
+    /// Whether any batched simulation errored; the remaining points
+    /// still report, but the binary exits with status 2 when set.
+    pub batch_failed: bool,
 }
 
 /// Errors surfaced to the user.
@@ -41,8 +47,11 @@ pub enum CliError {
     Sim(hmm_machine::SimError),
     /// Unknown command word.
     UnknownCommand(String),
-    /// Failed to write an output file (`--perfetto-out`, `--profile-out`).
+    /// Failed to write an output file (`--perfetto-out`, `--profile-out`,
+    /// `--out`).
     Io(String, std::io::Error),
+    /// The autotuner rejected its configuration or failed to run.
+    Tune(hmm_tune::TuneError),
 }
 
 impl std::fmt::Display for CliError {
@@ -52,9 +61,10 @@ impl std::fmt::Display for CliError {
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
             CliError::UnknownCommand(c) => write!(
                 f,
-                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, profile, batch, lint, info)"
+                "unknown command {c:?} (try: sum, reduce, conv, prefix, sort, profile, tune, batch, lint, info)"
             ),
             CliError::Io(path, e) => write!(f, "cannot write {path:?}: {e}"),
+            CliError::Tune(e) => write!(f, "tune error: {e}"),
         }
     }
 }
@@ -70,6 +80,12 @@ impl From<ParseError> for CliError {
 impl From<hmm_machine::SimError> for CliError {
     fn from(e: hmm_machine::SimError) -> Self {
         CliError::Sim(e)
+    }
+}
+
+impl From<hmm_tune::TuneError> for CliError {
+    fn from(e: hmm_tune::TuneError) -> Self {
+        CliError::Tune(e)
     }
 }
 
@@ -154,6 +170,7 @@ pub fn execute(a: &Args) -> Result<Outcome, CliError> {
             })
         }
         "profile" => crate::profile::execute_profile(a),
+        "tune" => crate::tune::execute_tune(a),
         "batch" => run_batch(a),
         "lint" => {
             let lint = crate::lint::execute(a)?;
@@ -329,6 +346,11 @@ fn sweep_values(a: &Args) -> Result<Vec<usize>, CliError> {
 /// list of values, fanning the independent runs out over a
 /// [`BatchRunner`]. Each job steps its machine sequentially — with many
 /// simulations in flight, one job per core beats nested worker pools.
+///
+/// Results come back [`Keyed`] by the sweep value that produced them, so
+/// a failing point cannot shift attribution of its neighbours: the
+/// failure is reported in its own row and the binary exits with status 2
+/// after the surviving points have printed.
 fn run_batch(a: &Args) -> Result<Outcome, CliError> {
     let cmd = a.get_choice("cmd", "sum", &["sum", "reduce", "conv", "prefix", "sort"])?;
     let key = a.get_choice("sweep", "n", &["n", "k", "p", "w", "l", "d"])?;
@@ -339,17 +361,17 @@ fn run_batch(a: &Args) -> Result<Outcome, CliError> {
     } else {
         BatchRunner::with_threads(threads)
     };
-    let jobs: Vec<Args> = values
+    let jobs: Vec<(usize, Args)> = values
         .iter()
         .map(|&v| {
             let mut sub = a.clone();
             sub.command.clone_from(&cmd);
             sub.set(&key, v.to_string());
             sub.set("threads", "1");
-            sub
+            (v, sub)
         })
         .collect();
-    let results = runner.run(jobs, |sub| execute(&sub));
+    let results = runner.run_keyed(jobs, |(_, sub)| execute(sub));
 
     let mut summary = format!(
         "batch {cmd}: sweep --{key} over {} points, {} batch threads",
@@ -357,19 +379,36 @@ fn run_batch(a: &Args) -> Result<Outcome, CliError> {
         runner.threads()
     );
     let mut rows = Vec::new();
-    for (&v, res) in values.iter().zip(results) {
-        let o = res?;
-        let _ = write!(summary, "\n  --{key} {v}: {}", o.summary);
-        rows.push(hmm_util::Value::object(vec![
-            (key.as_str(), v.into()),
-            ("summary", o.summary.as_str().into()),
-            (
-                "report",
-                o.report
-                    .as_ref()
-                    .map_or(hmm_util::Value::Null, SimReport::to_json),
-            ),
-        ]));
+    let mut batch_failed = false;
+    for Keyed {
+        config: (v, _),
+        result,
+    } in results
+    {
+        match result {
+            Ok(o) => {
+                let _ = write!(summary, "\n  --{key} {v}: {}", o.summary);
+                rows.push(hmm_util::Value::object(vec![
+                    (key.as_str(), v.into()),
+                    ("summary", o.summary.as_str().into()),
+                    (
+                        "report",
+                        o.report
+                            .as_ref()
+                            .map_or(hmm_util::Value::Null, SimReport::to_json),
+                    ),
+                ]));
+            }
+            Err(e) => {
+                batch_failed = true;
+                let _ = write!(summary, "\n  --{key} {v}: error: {e}");
+                rows.push(hmm_util::Value::object(vec![
+                    (key.as_str(), v.into()),
+                    ("error", e.to_string().as_str().into()),
+                    ("report", hmm_util::Value::Null),
+                ]));
+            }
+        }
     }
     Ok(Outcome {
         summary,
@@ -377,8 +416,10 @@ fn run_batch(a: &Args) -> Result<Outcome, CliError> {
             ("command", cmd.as_str().into()),
             ("sweep", key.as_str().into()),
             ("threads", runner.threads().into()),
+            ("failed", batch_failed.into()),
             ("points", hmm_util::Value::Array(rows)),
         ])),
+        batch_failed,
         ..Outcome::default()
     })
 }
@@ -395,6 +436,9 @@ pub fn render(outcome: &Outcome, json: bool) -> String {
         }
         if let Some(profile) = &outcome.profile {
             return profile.to_json_pretty();
+        }
+        if let Some(tune) = &outcome.tune {
+            return tune.to_json_pretty();
         }
         let report = outcome
             .report
@@ -506,6 +550,36 @@ mod tests {
         assert_eq!(points[0]["n"].as_u64(), Some(128));
         assert_eq!(points[1]["n"].as_u64(), Some(256));
         assert!(points[0]["report"]["time"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn batch_reports_per_point_errors_and_flags_failure() {
+        // p = 0 cannot launch: that point must fail in its own row while
+        // the p = 8 point still reports, and the outcome must carry the
+        // failure flag that drives the non-zero exit status.
+        let o = run_line(
+            "batch --cmd sum --machine umm --sweep p --values 8,0 --n 64 --w 4 --l 4 --threads 1",
+        )
+        .unwrap();
+        assert!(o.batch_failed, "zero-thread point must flag the batch");
+        assert!(o.summary.contains("--p 0: error:"));
+        assert!(o.summary.contains("--p 8:"));
+        let batch = o.batch.expect("batch JSON");
+        assert_eq!(batch["failed"].as_bool(), Some(true));
+        let points = match &batch["points"] {
+            hmm_util::Value::Array(rows) => rows,
+            other => panic!("points not an array: {other:?}"),
+        };
+        assert_eq!(points.len(), 2);
+        assert!(points[0]["report"]["time"].as_u64().unwrap() > 0);
+        assert!(matches!(points[0]["error"], hmm_util::Value::Null));
+        assert!(points[1]["error"].as_str().is_some());
+        assert!(matches!(points[1]["report"], hmm_util::Value::Null));
+        // A clean batch must not set the flag.
+        let ok =
+            run_line("batch --cmd sum --sweep n --values 64 --p 16 --w 4 --l 4 --d 2").unwrap();
+        assert!(!ok.batch_failed);
+        assert_eq!(ok.batch.unwrap()["failed"].as_bool(), Some(false));
     }
 
     #[test]

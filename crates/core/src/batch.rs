@@ -16,6 +16,20 @@
 use hmm_machine::Parallelism;
 use hmm_util::parallel_map;
 
+/// A batch result that still carries the configuration that produced it.
+///
+/// Index-keyed result vectors are easy to misalign once a caller filters
+/// or reorders its job list (the tuner prunes candidates, the sweep
+/// binaries skip infeasible points); pairing each result with its
+/// originating config makes wrong attribution unrepresentable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keyed<T, R> {
+    /// The job configuration handed to the worker.
+    pub config: T,
+    /// What the worker produced for it.
+    pub result: R,
+}
+
 /// Runs a batch of independent jobs on up to `threads` worker threads,
 /// preserving job order in the results.
 ///
@@ -84,6 +98,21 @@ impl BatchRunner {
     {
         parallel_map(jobs, self.threads, f)
     }
+
+    /// Like [`BatchRunner::run`], but each result is returned as a
+    /// [`Keyed`] pair carrying the job configuration that produced it,
+    /// so downstream filtering can never mis-attribute a result.
+    pub fn run_keyed<T, R, F>(&self, jobs: Vec<T>, f: F) -> Vec<Keyed<T, R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        parallel_map(jobs, self.threads, |config| {
+            let result = f(&config);
+            Keyed { config, result }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +140,23 @@ mod tests {
         for threads in [2, 4, 8] {
             let par = BatchRunner::with_threads(threads).run(ps.clone(), job);
             assert_eq!(par, seq, "batch at {threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn keyed_results_carry_their_configs() {
+        let kernel = store_gid();
+        let ps: Vec<usize> = vec![4, 8, 12, 16];
+        let keyed = BatchRunner::with_threads(4).run_keyed(ps.clone(), |&p| {
+            let mut m = Machine::hmm(2, 4, 10, 256, 64).with_parallelism(Parallelism::Sequential);
+            m.launch(&kernel, LaunchShape::Even(p)).unwrap().threads
+        });
+        assert_eq!(keyed.len(), ps.len());
+        for (expect, k) in ps.iter().zip(&keyed) {
+            assert_eq!(k.config, *expect);
+            // The report's thread count proves the pairing: a misaligned
+            // result would carry a different p.
+            assert_eq!(k.result, k.config);
         }
     }
 

@@ -44,7 +44,7 @@ pub mod batch;
 pub mod machine;
 pub mod presets;
 
-pub use batch::BatchRunner;
+pub use batch::{BatchRunner, Keyed};
 pub use hmm_machine::{abi, Asm, Parallelism, Program, SimError, SimReport, SimResult, Word};
 pub use machine::{Kernel, LaunchShape, Machine, ModelKind};
 pub use presets::MachineParams;

@@ -1,0 +1,49 @@
+//! # hmm-tune — a deterministic kernel/config autotuner
+//!
+//! Given an algorithm family (`sum`, `conv`) and a declared
+//! configuration space — machine shape `d`/`w`/`l`, launch width, and
+//! kernel-layout transforms (bank-offset padding, xor swizzle, shared
+//! transpose, loop unrolling, all expressed as semantics-preserving
+//! `hmm-lang` rewrites) — find the configuration with the smallest
+//! simulated time, reproducibly:
+//!
+//! 1. the `hmm-analysis` conflict/coalescing predictor scores every
+//!    candidate statically and prunes the dominated ones;
+//! 2. survivors are simulated exactly, in parallel, with results
+//!    validated against the sequential references;
+//! 3. the winner is explained by diffing its cycle-accounting profile
+//!    against the baseline's.
+//!
+//! Reports are bit-identical across runs and worker thread counts: all
+//! randomness comes from the run seed, all decisions are taken between
+//! order-stable measurement waves, and no wall-clock values are
+//! recorded. See `DESIGN.md` ("The autotuner") for the architecture and
+//! how the paper's Θ-terms bound the space worth declaring.
+//!
+//! ```
+//! use hmm_tune::{tune, TuneConfig, TuneSpace};
+//!
+//! let mut cfg = TuneConfig::new("sum");
+//! cfg.n = 256;
+//! cfg.budget = 8;
+//! cfg.space = TuneSpace::parse("pad=0,1;warps=1,2").unwrap();
+//! let report = tune(&cfg).unwrap();
+//! assert!(report.winner_time <= report.baseline_time);
+//! println!("{}", report.render_text(10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod report;
+pub mod space;
+pub mod strategy;
+pub mod tuner;
+
+pub use kernels::{tunable, tunable_names, BuildError, Tunable, TunedKernel};
+pub use report::{EntryStatus, ExplainRow, TuneEntry, TuneReport};
+pub use space::{Candidate, SpaceError, TuneSpace, MAX_CANDIDATES};
+pub use strategy::{
+    GridStrategy, HillClimbStrategy, RandomStrategy, SearchCtx, Strategy, StrategyKind,
+};
+pub use tuner::{tune, TuneConfig, TuneError};

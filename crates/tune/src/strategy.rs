@@ -1,0 +1,363 @@
+//! Search strategies: how the tuner picks which surviving candidates to
+//! measure next.
+//!
+//! A [`Strategy`] is called between **measurement waves**: it sees the
+//! full prediction table and everything measured so far, and returns the
+//! next batch of candidate indices. Decisions are only ever taken
+//! *between* waves — inside a wave, all simulations run in parallel via
+//! the keyed batch runner — so a run is bit-identical at any worker
+//! thread count: the wave contents depend only on prior (order-stable)
+//! results and the strategy's own seeded [`Rng`].
+
+use std::collections::BTreeMap;
+
+use hmm_util::Rng;
+
+use crate::space::{Candidate, TuneSpace};
+
+/// What a strategy sees when asked for its next wave.
+#[derive(Debug)]
+pub struct SearchCtx<'a> {
+    /// The declared space (for neighbourhood structure).
+    pub space: &'a TuneSpace,
+    /// Every candidate, in enumeration order (plus a possible appended
+    /// out-of-space baseline at the end).
+    pub candidates: &'a [Candidate],
+    /// Live (feasible, unpruned) candidate indices ranked by
+    /// `(predicted score, index)` — best predicted first.
+    pub ranked: &'a [usize],
+    /// Calibration-free predicted scores, index-aligned with
+    /// `candidates`; `None` = infeasible.
+    pub predicted: &'a [Option<f64>],
+    /// Measured simulated times so far, by candidate index.
+    pub measured: &'a BTreeMap<usize, u64>,
+    /// Measurements the budget still allows.
+    pub remaining: usize,
+}
+
+impl SearchCtx<'_> {
+    /// Live candidates not measured yet, in ranked order.
+    #[must_use]
+    pub fn unmeasured(&self) -> Vec<usize> {
+        self.ranked
+            .iter()
+            .copied()
+            .filter(|i| !self.measured.contains_key(i))
+            .collect()
+    }
+}
+
+/// A search policy. Returning an empty wave ends the run early.
+pub trait Strategy {
+    /// Stable name recorded in reports.
+    fn name(&self) -> &'static str;
+    /// The next candidate indices to measure. The tuner drops indices
+    /// that are already measured or not live and truncates to the
+    /// remaining budget; strategies need not be exact.
+    fn next_wave(&mut self, ctx: &SearchCtx<'_>) -> Vec<usize>;
+}
+
+/// Exhaustive sweep in enumeration order, capped by the budget. With a
+/// budget at least the live-candidate count this measures everything.
+#[derive(Debug, Default)]
+pub struct GridStrategy {
+    done: bool,
+}
+
+impl GridStrategy {
+    /// A fresh grid sweep.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for GridStrategy {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn next_wave(&mut self, ctx: &SearchCtx<'_>) -> Vec<usize> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        let mut wave = ctx.unmeasured();
+        wave.sort_unstable(); // enumeration order, not ranked order
+        wave.truncate(ctx.remaining);
+        wave
+    }
+}
+
+/// Seeded uniform sampling without replacement from the live set.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    rng: Rng,
+    done: bool,
+}
+
+impl RandomStrategy {
+    /// A sampler seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Rng::new(seed),
+            done: false,
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn next_wave(&mut self, ctx: &SearchCtx<'_>) -> Vec<usize> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        let mut pool = ctx.unmeasured();
+        pool.sort_unstable();
+        let take = pool.len().min(ctx.remaining);
+        let mut wave = Vec::with_capacity(take);
+        for _ in 0..take {
+            let k = self.rng.usize_below(pool.len());
+            wave.push(pool.swap_remove(k));
+        }
+        wave
+    }
+}
+
+/// Seeded hill climbing over the space's ±1-axis neighbourhood.
+///
+/// Starts at the best-*predicted* candidate, measures the whole
+/// neighbourhood as one wave, moves to the best measured neighbour, and
+/// random-restarts from an unmeasured live candidate when no neighbour
+/// improves. Restart picks come from the seeded [`Rng`], so the walk is
+/// reproducible.
+#[derive(Debug)]
+pub struct HillClimbStrategy {
+    rng: Rng,
+    current: Option<usize>,
+}
+
+impl HillClimbStrategy {
+    /// A climber seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Rng::new(seed),
+            current: None,
+        }
+    }
+
+    fn live_neighbors(ctx: &SearchCtx<'_>, idx: usize) -> Vec<usize> {
+        // Neighbourhood is defined on the enumerated space only; an
+        // appended out-of-space baseline has no neighbours.
+        if idx >= ctx.space.len() {
+            return Vec::new();
+        }
+        ctx.space
+            .neighbors(idx)
+            .into_iter()
+            .filter(|n| ctx.ranked.contains(n))
+            .collect()
+    }
+
+    fn restart(&mut self, ctx: &SearchCtx<'_>) -> Option<usize> {
+        let mut pool = ctx.unmeasured();
+        pool.sort_unstable();
+        if pool.is_empty() {
+            return None;
+        }
+        Some(pool[self.rng.usize_below(pool.len())])
+    }
+}
+
+impl Strategy for HillClimbStrategy {
+    fn name(&self) -> &'static str {
+        "hill"
+    }
+
+    fn next_wave(&mut self, ctx: &SearchCtx<'_>) -> Vec<usize> {
+        // Bounded by the candidate count: every iteration either
+        // returns a non-empty wave of unmeasured candidates, moves to a
+        // strictly better neighbour, or restarts at an unmeasured
+        // candidate; when everything is measured it returns empty.
+        loop {
+            let Some(cur) = self.current else {
+                let Some(&start) = ctx.ranked.first() else {
+                    return Vec::new();
+                };
+                self.current = Some(start);
+                if !ctx.measured.contains_key(&start) {
+                    return vec![start];
+                }
+                continue;
+            };
+            let neighbors = Self::live_neighbors(ctx, cur);
+            let unmeasured: Vec<usize> = neighbors
+                .iter()
+                .copied()
+                .filter(|n| !ctx.measured.contains_key(n))
+                .collect();
+            if !unmeasured.is_empty() {
+                return unmeasured;
+            }
+            // Whole neighbourhood measured: move downhill if possible.
+            let best = neighbors
+                .iter()
+                .chain(std::iter::once(&cur))
+                .filter_map(|&i| ctx.measured.get(&i).map(|&t| (t, i)))
+                .min();
+            match best {
+                Some((_, idx)) if idx != cur => self.current = Some(idx),
+                _ => {
+                    // Local optimum: restart somewhere unmeasured.
+                    let Some(next) = self.restart(ctx) else {
+                        return Vec::new();
+                    };
+                    self.current = Some(next);
+                    return vec![next];
+                }
+            }
+        }
+    }
+}
+
+/// The strategy selector used by the CLI and config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Exhaustive in enumeration order.
+    Grid,
+    /// Seeded uniform sampling.
+    Random,
+    /// Seeded hill climbing with restarts.
+    Hill,
+}
+
+impl StrategyKind {
+    /// Parse a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "grid" => Some(Self::Grid),
+            "random" => Some(Self::Random),
+            "hill" | "hillclimb" | "hill-climb" => Some(Self::Hill),
+            _ => None,
+        }
+    }
+
+    /// The stable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Grid => "grid",
+            Self::Random => "random",
+            Self::Hill => "hill",
+        }
+    }
+
+    /// Instantiate the strategy, seeding stochastic ones from `seed`.
+    #[must_use]
+    pub fn build(self, seed: u64) -> Box<dyn Strategy> {
+        match self {
+            Self::Grid => Box::new(GridStrategy::new()),
+            Self::Random => Box::new(RandomStrategy::new(seed)),
+            Self::Hill => Box::new(HillClimbStrategy::new(seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fixture<'a>(
+        space: &'a TuneSpace,
+        candidates: &'a [Candidate],
+        ranked: &'a [usize],
+        predicted: &'a [Option<f64>],
+        measured: &'a BTreeMap<usize, u64>,
+        remaining: usize,
+    ) -> SearchCtx<'a> {
+        SearchCtx {
+            space,
+            candidates,
+            ranked,
+            predicted,
+            measured,
+            remaining,
+        }
+    }
+
+    #[test]
+    fn grid_sweeps_in_enumeration_order_once() {
+        let space = TuneSpace::default();
+        let candidates = space.enumerate().unwrap();
+        let ranked: Vec<usize> = (0..candidates.len()).rev().collect(); // worst-first on purpose
+        let predicted = vec![Some(1.0); candidates.len()];
+        let measured = BTreeMap::new();
+        let mut s = GridStrategy::new();
+        let ctx = ctx_fixture(&space, &candidates, &ranked, &predicted, &measured, 10);
+        let wave = s.next_wave(&ctx);
+        assert_eq!(wave, (0..10).collect::<Vec<_>>());
+        assert!(s.next_wave(&ctx).is_empty());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_replacement_free() {
+        let space = TuneSpace::default();
+        let candidates = space.enumerate().unwrap();
+        let ranked: Vec<usize> = (0..candidates.len()).collect();
+        let predicted = vec![Some(1.0); candidates.len()];
+        let measured = BTreeMap::new();
+        let ctx = ctx_fixture(&space, &candidates, &ranked, &predicted, &measured, 12);
+        let wave1 = RandomStrategy::new(9).next_wave(&ctx);
+        let wave2 = RandomStrategy::new(9).next_wave(&ctx);
+        assert_eq!(wave1, wave2);
+        assert_eq!(wave1.len(), 12);
+        let mut dedup = wave1.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+        assert_ne!(wave1, RandomStrategy::new(10).next_wave(&ctx));
+    }
+
+    #[test]
+    fn hill_starts_at_best_predicted_then_explores_neighbors() {
+        let space = TuneSpace::default();
+        let candidates = space.enumerate().unwrap();
+        let ranked: Vec<usize> = (0..candidates.len()).collect();
+        let predicted = vec![Some(1.0); candidates.len()];
+        let mut measured = BTreeMap::new();
+        let mut s = HillClimbStrategy::new(3);
+        let ctx = ctx_fixture(&space, &candidates, &ranked, &predicted, &measured, 64);
+        assert_eq!(s.next_wave(&ctx), vec![0]);
+        measured.insert(0, 100);
+        let ctx = ctx_fixture(&space, &candidates, &ranked, &predicted, &measured, 63);
+        let wave = s.next_wave(&ctx);
+        let expect = space.neighbors(0);
+        assert_eq!(wave, expect);
+        // Measure the neighbourhood, one strictly better: the climber
+        // moves there and proposes ITS neighbours next.
+        for (k, &i) in wave.iter().enumerate() {
+            measured.insert(i, if k == 1 { 50 } else { 200 });
+        }
+        let better = wave[1];
+        let ctx = ctx_fixture(&space, &candidates, &ranked, &predicted, &measured, 60);
+        let next = s.next_wave(&ctx);
+        assert!(!next.is_empty());
+        assert!(next.iter().all(|i| space.neighbors(better).contains(i)));
+    }
+
+    #[test]
+    fn kind_parses_and_builds() {
+        assert_eq!(StrategyKind::parse("grid"), Some(StrategyKind::Grid));
+        assert_eq!(StrategyKind::parse("hillclimb"), Some(StrategyKind::Hill));
+        assert_eq!(StrategyKind::parse("anneal"), None);
+        assert_eq!(StrategyKind::Random.build(1).name(), "random");
+        assert_eq!(StrategyKind::Grid.name(), "grid");
+    }
+}

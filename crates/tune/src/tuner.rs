@@ -1,0 +1,511 @@
+//! The tuning pipeline: **predict → prune → measure → explain**.
+//!
+//! 1. *Predict*: every enumerated candidate is built and scored by the
+//!    static cost model ([`hmm_analysis::predict`]) — compile + abstract
+//!    interpretation, no simulation, so thousands of candidates cost
+//!    milliseconds each.
+//! 2. *Prune*: candidates predicted worse than `prune_factor ×` the
+//!    best prediction are statically dominated and never simulated (the
+//!    baseline is always kept as the calibration anchor).
+//! 3. *Measure*: the strategy proposes waves of survivors; each wave is
+//!    simulated exactly — in parallel via the keyed batch runner, every
+//!    machine stepping sequentially — and validated against the
+//!    sequential reference. The baseline is measured first, outside the
+//!    budget, so the winner can never be slower than the untuned
+//!    default. One-point calibration against the baseline turns raw
+//!    scores into predicted time units, and every measured candidate
+//!    gets a predicted-vs-measured error — the model audits itself.
+//! 4. *Explain*: the winner and the baseline are re-run with the
+//!    cycle-accounting profiler on, and the report shows where the
+//!    saved thread-cycles came from (bank conflicts, latency, barriers).
+//!
+//! Determinism: all decisions happen between waves, wave results are
+//! order-stable ([`BatchRunner::run_keyed`]), machines inside jobs step
+//! sequentially, and stochastic strategies derive from the run seed —
+//! so reports are bit-identical across runs and worker thread counts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hmm_analysis::{analyze, AnalysisConfig};
+use hmm_core::{BatchRunner, Keyed, LaunchShape, Machine, Word};
+use hmm_machine::profile::{LaunchProfile, StallCategory};
+use hmm_machine::Parallelism;
+
+use crate::kernels::{tunable, tunable_names, Tunable};
+use crate::report::{EntryStatus, ExplainRow, TuneEntry, TuneReport};
+use crate::space::{Candidate, SpaceError, TuneSpace};
+use crate::strategy::{SearchCtx, StrategyKind};
+
+/// Everything a tuning run needs.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Algorithm family (`sum`, `conv`).
+    pub algo: String,
+    /// Problem size; `0` uses the family default.
+    pub n: usize,
+    /// Seed for input data and stochastic strategies.
+    pub seed: u64,
+    /// Maximum candidates to simulate (baseline not counted).
+    pub budget: usize,
+    /// Batch worker threads; `0` = automatic (`HMM_THREADS` / cores).
+    pub threads: usize,
+    /// Search strategy.
+    pub strategy: StrategyKind,
+    /// The declared space.
+    pub space: TuneSpace,
+    /// Static-prune threshold: drop candidates predicted worse than
+    /// this multiple of the best prediction.
+    pub prune_factor: f64,
+}
+
+impl TuneConfig {
+    /// Defaults for `algo`: family-default `n`, seed 42, budget 64,
+    /// automatic threads, grid strategy over the stock space, prune 8×.
+    #[must_use]
+    pub fn new(algo: &str) -> Self {
+        Self {
+            algo: algo.into(),
+            n: 0,
+            seed: 42,
+            budget: 64,
+            threads: 0,
+            strategy: StrategyKind::Grid,
+            space: TuneSpace::default(),
+            prune_factor: 8.0,
+        }
+    }
+}
+
+/// Why a tuning run could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// No tunable family with that name.
+    UnknownAlgo(String),
+    /// The space failed to enumerate.
+    Space(SpaceError),
+    /// The baseline candidate could not be built, simulated or
+    /// validated — there is no anchor to tune against.
+    Baseline(String),
+    /// Nothing was measured successfully and validated.
+    NoValidCandidate,
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::UnknownAlgo(a) => {
+                write!(
+                    f,
+                    "unknown algorithm '{a}' (tunable: {})",
+                    tunable_names().join(", ")
+                )
+            }
+            TuneError::Space(e) => write!(f, "bad space: {e}"),
+            TuneError::Baseline(m) => write!(f, "baseline failed: {m}"),
+            TuneError::NoValidCandidate => {
+                write!(f, "no candidate was measured successfully")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<SpaceError> for TuneError {
+    fn from(e: SpaceError) -> Self {
+        TuneError::Space(e)
+    }
+}
+
+/// Stage-1 output for one candidate.
+#[derive(Debug, Clone)]
+struct Prediction {
+    raw: f64,
+    global_inflation: f64,
+    shared_inflation: f64,
+}
+
+/// Stage-3 output for one candidate.
+#[derive(Debug, Clone)]
+struct Measurement {
+    time: u64,
+    valid: bool,
+    error: Option<String>,
+    profile: Option<LaunchProfile>,
+}
+
+fn predict_one(alg: &dyn Tunable, c: &Candidate, n: usize) -> Result<Prediction, String> {
+    let tk = alg.build(c, n).map_err(|e| e.to_string())?;
+    let cfg = AnalysisConfig::hmm(c.w, c.d).with_launch(tk.threads as i64, c.d);
+    let analysis = analyze(&tk.kernel.program, &cfg);
+    let est = hmm_analysis::predict(&analysis, &tk.theta);
+    Ok(Prediction {
+        raw: est.time_units,
+        global_inflation: est.global_inflation,
+        shared_inflation: est.shared_inflation,
+    })
+}
+
+fn evaluate(
+    alg: &dyn Tunable,
+    c: &Candidate,
+    n: usize,
+    input: &[Word],
+    expect: &[Word],
+    profiled: bool,
+) -> Measurement {
+    let tk = match alg.build(c, n) {
+        Ok(tk) => tk,
+        Err(e) => {
+            return Measurement {
+                time: 0,
+                valid: false,
+                error: Some(e.to_string()),
+                profile: None,
+            }
+        }
+    };
+    let mut m = Machine::hmm(c.d, c.w, c.l, tk.global_size, tk.shared_size)
+        .with_parallelism(Parallelism::Sequential);
+    if profiled {
+        m.set_profiling(true);
+    }
+    m.load_global(tk.input_base, input);
+    match m.launch(&tk.kernel, LaunchShape::Even(tk.threads)) {
+        Ok(report) => {
+            let out = &m.global()[tk.out_base..tk.out_base + tk.out_len];
+            Measurement {
+                time: report.time,
+                valid: out == expect,
+                error: None,
+                profile: if profiled {
+                    m.take_profiles().pop()
+                } else {
+                    None
+                },
+            }
+        }
+        Err(e) => Measurement {
+            time: 0,
+            valid: false,
+            error: Some(e.to_string()),
+            profile: None,
+        },
+    }
+}
+
+fn explain_rows(baseline: &LaunchProfile, winner: &LaunchProfile) -> Vec<ExplainRow> {
+    StallCategory::ALL
+        .iter()
+        .map(|&cat| ExplainRow {
+            category: cat.name(),
+            baseline: baseline.total.get(cat),
+            tuned: winner.total.get(cat),
+            baseline_frac: baseline.fraction(cat),
+            tuned_frac: winner.fraction(cat),
+        })
+        .collect()
+}
+
+/// Run the full pipeline for `cfg`.
+///
+/// # Errors
+/// See [`TuneError`].
+pub fn tune(cfg: &TuneConfig) -> Result<TuneReport, TuneError> {
+    let alg = tunable(&cfg.algo).ok_or_else(|| TuneError::UnknownAlgo(cfg.algo.clone()))?;
+    let alg = alg.as_ref();
+    let n = if cfg.n == 0 { alg.default_n() } else { cfg.n };
+
+    // The candidate set: the enumerated space, plus the baseline
+    // appended when the declared space does not contain it (it is the
+    // comparison anchor regardless).
+    let mut candidates = cfg.space.enumerate()?;
+    let baseline = cfg.space.baseline();
+    let baseline_idx = candidates
+        .iter()
+        .position(|c| *c == baseline)
+        .unwrap_or_else(|| {
+            candidates.push(baseline);
+            candidates.len() - 1
+        });
+
+    let runner = if cfg.threads == 0 {
+        BatchRunner::new()
+    } else {
+        BatchRunner::with_threads(cfg.threads)
+    };
+
+    // Stage 1: predict every candidate statically.
+    let predictions: Vec<Result<Prediction, String>> = runner
+        .run_keyed((0..candidates.len()).collect(), |&i| {
+            predict_one(alg, &candidates[i], n)
+        })
+        .into_iter()
+        .map(|k| k.result)
+        .collect();
+    if let Err(e) = &predictions[baseline_idx] {
+        return Err(TuneError::Baseline(format!("does not build: {e}")));
+    }
+
+    // Stage 2: prune statically dominated candidates.
+    let raw = |i: usize| predictions[i].as_ref().ok().map(|p| p.raw);
+    let best_raw = (0..candidates.len())
+        .filter_map(raw)
+        .min_by(f64::total_cmp)
+        .expect("baseline predicted");
+    let live: BTreeSet<usize> = (0..candidates.len())
+        .filter(|&i| raw(i).is_some_and(|r| r <= cfg.prune_factor * best_raw) || i == baseline_idx)
+        .collect();
+    let mut ranked: Vec<usize> = live.iter().copied().collect();
+    ranked.sort_by(|&a, &b| {
+        raw(a)
+            .unwrap_or(f64::INFINITY)
+            .total_cmp(&raw(b).unwrap_or(f64::INFINITY))
+            .then(a.cmp(&b))
+    });
+    let predicted_scores: Vec<Option<f64>> = (0..candidates.len()).map(raw).collect();
+
+    // Stage 3: measure. Baseline first, outside the budget.
+    let input = alg.input(n, cfg.seed);
+    let expect = alg.reference(&input);
+    let measure = |wave: Vec<usize>, profiled: bool| -> Vec<Keyed<usize, Measurement>> {
+        runner.run_keyed(wave, |&i| {
+            evaluate(alg, &candidates[i], n, &input, &expect, profiled)
+        })
+    };
+
+    let mut results: BTreeMap<usize, Measurement> = BTreeMap::new();
+    let mut times: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut attempted: BTreeSet<usize> = BTreeSet::new();
+    let record = |wave: Vec<Keyed<usize, Measurement>>,
+                  results: &mut BTreeMap<usize, Measurement>,
+                  times: &mut BTreeMap<usize, u64>,
+                  attempted: &mut BTreeSet<usize>| {
+        for k in wave {
+            attempted.insert(k.config);
+            if k.result.error.is_none() {
+                times.insert(k.config, k.result.time);
+            }
+            results.insert(k.config, k.result);
+        }
+    };
+    record(
+        measure(vec![baseline_idx], false),
+        &mut results,
+        &mut times,
+        &mut attempted,
+    );
+    {
+        let b = &results[&baseline_idx];
+        if let Some(e) = &b.error {
+            return Err(TuneError::Baseline(format!("simulation error: {e}")));
+        }
+        if !b.valid {
+            return Err(TuneError::Baseline(
+                "output does not match the sequential reference".into(),
+            ));
+        }
+    }
+    let baseline_time = results[&baseline_idx].time;
+
+    let mut strat = cfg.strategy.build(cfg.seed);
+    let mut remaining = cfg.budget;
+    while remaining > 0 {
+        let ctx = SearchCtx {
+            space: &cfg.space,
+            candidates: &candidates,
+            ranked: &ranked,
+            predicted: &predicted_scores,
+            measured: &times,
+            remaining,
+        };
+        let proposed = strat.next_wave(&ctx);
+        let mut seen = BTreeSet::new();
+        let wave: Vec<usize> = proposed
+            .into_iter()
+            .filter(|i| live.contains(i) && !attempted.contains(i) && seen.insert(*i))
+            .take(remaining)
+            .collect();
+        if wave.is_empty() {
+            break;
+        }
+        remaining -= wave.len();
+        record(
+            measure(wave, false),
+            &mut results,
+            &mut times,
+            &mut attempted,
+        );
+    }
+
+    // Calibrate: one point, the baseline.
+    let baseline_raw = raw(baseline_idx).expect("baseline predicted");
+    let scale = baseline_time as f64 / baseline_raw;
+
+    // The winner: fastest valid measurement (ties to the earlier
+    // candidate). The baseline is always in the pool, so the winner is
+    // never slower than the untuned default.
+    let (&winner_idx, _) = results
+        .iter()
+        .filter(|(_, m)| m.error.is_none() && m.valid)
+        .min_by_key(|(i, m)| (m.time, **i))
+        .ok_or(TuneError::NoValidCandidate)?;
+    let winner_time = results[&winner_idx].time;
+
+    // Stage 4: explain the winner against the baseline.
+    let profiled = measure(vec![baseline_idx, winner_idx], true);
+    let explain = match (&profiled[0].result.profile, &profiled[1].result.profile) {
+        (Some(b), Some(w)) => explain_rows(b, w),
+        _ => Vec::new(),
+    };
+
+    // Assemble the per-candidate audit trail.
+    let entries: Vec<TuneEntry> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let pred = predictions[i].as_ref();
+            let predicted = pred.ok().map(|p| p.raw * scale);
+            let measurement = results.get(&i);
+            let measured = measurement.and_then(|m| m.error.is_none().then_some(m.time));
+            let (status, detail) = match (&predictions[i], measurement) {
+                (Err(e), _) => (EntryStatus::Infeasible, e.clone()),
+                (Ok(_), Some(m)) => match &m.error {
+                    Some(e) => (EntryStatus::Failed, e.clone()),
+                    None => (EntryStatus::Measured, String::new()),
+                },
+                (Ok(_), None) if !live.contains(&i) => (EntryStatus::Pruned, String::new()),
+                (Ok(_), None) => (EntryStatus::Skipped, String::new()),
+            };
+            TuneEntry {
+                id: c.id(),
+                status,
+                detail,
+                predicted_raw: pred.ok().map(|p| p.raw),
+                predicted,
+                global_inflation: pred.ok().map(|p| p.global_inflation),
+                shared_inflation: pred.ok().map(|p| p.shared_inflation),
+                measured,
+                error_pct: predicted.zip(measured).map(|(p, t)| {
+                    if t == 0 {
+                        0.0
+                    } else {
+                        (p - t as f64) / t as f64 * 100.0
+                    }
+                }),
+                valid: measurement.and_then(|m| m.error.is_none().then_some(m.valid)),
+            }
+        })
+        .collect();
+
+    let errors: Vec<f64> = entries.iter().filter_map(|e| e.error_pct).collect();
+    let mean_abs_error_pct = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64
+    };
+
+    Ok(TuneReport {
+        algo: alg.name().into(),
+        n,
+        seed: cfg.seed,
+        budget: cfg.budget,
+        strategy: strat.name().into(),
+        space: cfg.space.render(),
+        prune_factor: cfg.prune_factor,
+        candidates: candidates.len(),
+        evaluated: times.len(),
+        baseline_id: baseline.id(),
+        baseline_time,
+        winner_id: candidates[winner_idx].id(),
+        winner_time,
+        speedup: baseline_time as f64 / winner_time as f64,
+        mean_abs_error_pct,
+        entries,
+        explain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(algo: &str) -> TuneConfig {
+        let mut cfg = TuneConfig::new(algo);
+        cfg.n = 256;
+        cfg.budget = 16;
+        cfg.space = TuneSpace::parse("warps=1,2;pad=0,1;unroll=1,2").unwrap();
+        cfg
+    }
+
+    #[test]
+    fn sum_run_is_deterministic_across_thread_counts() {
+        let mut cfg = small_cfg("sum");
+        cfg.threads = 1;
+        let a = tune(&cfg).unwrap();
+        cfg.threads = 4;
+        let b = tune(&cfg).unwrap();
+        assert_eq!(
+            a.to_json().to_json_pretty(),
+            b.to_json().to_json_pretty(),
+            "reports must be bit-identical at any worker count"
+        );
+    }
+
+    #[test]
+    fn winner_is_never_slower_than_baseline_and_audited() {
+        let r = tune(&small_cfg("sum")).unwrap();
+        assert!(r.winner_time <= r.baseline_time);
+        assert!(r.speedup >= 1.0);
+        // Every measured entry carries the audit column.
+        for e in &r.entries {
+            if e.measured.is_some() {
+                assert!(e.error_pct.is_some(), "{} missing error", e.id);
+                assert!(e.predicted.is_some(), "{} missing prediction", e.id);
+                assert_eq!(e.valid, Some(true), "{} invalid", e.id);
+            }
+        }
+        // The explain stage produced the 7-category diff.
+        assert_eq!(r.explain.len(), 7);
+        let tc: u64 = r.explain.iter().map(|row| row.tuned).sum();
+        assert!(tc > 0);
+    }
+
+    #[test]
+    fn conv_run_succeeds_with_each_strategy() {
+        for kind in [StrategyKind::Grid, StrategyKind::Random, StrategyKind::Hill] {
+            let mut cfg = small_cfg("conv");
+            cfg.n = 96;
+            cfg.budget = 6;
+            cfg.strategy = kind;
+            let r = tune(&cfg).unwrap();
+            assert!(r.winner_time <= r.baseline_time, "{}", kind.name());
+            assert!(r.evaluated <= 6 + 1, "budget respected plus baseline");
+        }
+    }
+
+    #[test]
+    fn unknown_algo_and_bad_space_error_cleanly() {
+        assert!(matches!(
+            tune(&TuneConfig::new("sort")),
+            Err(TuneError::UnknownAlgo(_))
+        ));
+        let mut cfg = TuneConfig::new("sum");
+        cfg.space.w = vec![6]; // pd = 6 not a power of two: baseline infeasible
+        assert!(matches!(tune(&cfg), Err(TuneError::Baseline(_))));
+        assert!(TuneError::NoValidCandidate
+            .to_string()
+            .contains("no candidate"));
+    }
+
+    #[test]
+    fn baseline_outside_declared_space_is_appended() {
+        let mut cfg = small_cfg("sum");
+        // Space without the all-off point: pad always on.
+        cfg.space = TuneSpace::parse("pad=1,2;warps=2").unwrap();
+        let r = tune(&cfg).unwrap();
+        // Enumerated 2 candidates + appended baseline.
+        assert_eq!(r.candidates, 3);
+        assert!(r.entries.iter().any(|e| e.id == r.baseline_id));
+    }
+}

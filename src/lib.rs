@@ -12,4 +12,5 @@ pub use hmm_machine as machine;
 pub use hmm_pram as pram;
 pub use hmm_prof as prof;
 pub use hmm_theory as theory;
+pub use hmm_tune as tune;
 pub use hmm_workloads as workloads;
