@@ -1,0 +1,169 @@
+//! Wall-clock comparison of the event-driven clock against pure unit
+//! stepping, on the sequential driver.
+//!
+//! Each workload runs with `fast_forward` on and off; the simulated
+//! reports are asserted identical up to the `skipped_units` diagnostic,
+//! so only wall-clock changes. Latency-bound shapes (few warps, large
+//! `l`) leave long idle stretches for the clock to jump; busy shapes
+//! (many warps, small `l`) keep a pipeline occupied almost every unit
+//! and serve as the no-regression guard.
+//!
+//! Run with `cargo bench -p hmm-bench --bench engine`; pass `--quick`
+//! (after `--`) for the scaled-down CI smoke variant. Results — with
+//! the host core count and per-workload skipped-unit counts — go to
+//! `BENCH_engine.json` at the repository root.
+
+use std::time::Instant;
+
+use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::run_conv_hmm;
+use hmm_algorithms::sum::run_sum_hmm;
+use hmm_core::{Machine, Parallelism};
+use hmm_machine::SimReport;
+use hmm_util::Value;
+use hmm_workloads::random_words;
+
+const D: usize = 4;
+const W: usize = 32;
+
+/// Time `f` (after one warm-up call) and return the minimum of
+/// `samples` runs in milliseconds, plus the last result.
+fn time_min<R>(samples: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = f();
+    for _ in 0..samples {
+        let start = Instant::now();
+        last = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last)
+}
+
+fn sum_report(l: usize, n: usize, p: usize, input: &[hmm_machine::Word], ff: bool) -> SimReport {
+    let mut m = Machine::hmm(D, W, l, n + 32, (p / D).next_power_of_two().max(8))
+        .with_parallelism(Parallelism::Sequential)
+        .with_fast_forward(ff);
+    run_sum_hmm(&mut m, input, p).unwrap().report
+}
+
+fn conv_report(
+    l: usize,
+    n: usize,
+    k: usize,
+    p: usize,
+    a: &[hmm_machine::Word],
+    b: &[hmm_machine::Word],
+    ff: bool,
+) -> SimReport {
+    let shared = shared_words(n.div_ceil(D), k) + 8;
+    let mut m = Machine::hmm(D, W, l, 2 * (n + 2 * k), shared)
+        .with_parallelism(Parallelism::Sequential)
+        .with_fast_forward(ff);
+    run_conv_hmm(&mut m, a, b, p).unwrap().report
+}
+
+/// Benchmark one workload in both clock modes and emit the JSON row.
+fn measure(name: &str, samples: usize, run: impl Fn(bool) -> SimReport) -> Value {
+    let (ff_ms, ff_report) = time_min(samples, || run(true));
+    let (step_ms, step_report) = time_min(samples, || run(false));
+    assert_eq!(step_report.skipped_units, 0, "{name}: ff-off skipped");
+    let mut normalised = ff_report.clone();
+    normalised.skipped_units = 0;
+    assert_eq!(
+        normalised, step_report,
+        "{name}: clock changed the simulation"
+    );
+    let speedup = step_ms / ff_ms;
+    let frac = ff_report.skipped_units as f64 / ff_report.time.max(1) as f64;
+    println!(
+        "  {name:<20} stepped {step_ms:>9.2} ms   fast-forward {ff_ms:>9.2} ms   \
+         speedup {speedup:>5.2}x   skipped {:>10} of {:>10} units ({:.0}%)",
+        ff_report.skipped_units,
+        ff_report.time,
+        frac * 100.0
+    );
+    Value::object(vec![
+        ("name", name.into()),
+        ("stepped_ms", step_ms.into()),
+        ("fast_forward_ms", ff_ms.into()),
+        ("speedup", speedup.into()),
+        ("time_units", ff_report.time.into()),
+        ("skipped_units", ff_report.skipped_units.into()),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 2 } else { 5 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "event-driven clock bench ({} mode): d = {D}, w = {W}, sequential driver, host cores = {cores}",
+        if quick { "quick" } else { "full" }
+    );
+    let mut rows = Vec::new();
+
+    // Latency-bound sum: few warps, growing l — long idle stretches.
+    let lat_n = if quick { 1 << 10 } else { 1 << 12 };
+    let lat_input = random_words(lat_n, 42, 100);
+    let lat_ls: &[usize] = if quick {
+        &[64, 1024]
+    } else {
+        &[64, 1024, 8192]
+    };
+    for &l in lat_ls {
+        rows.push(measure(&format!("sum/l{l}_p64"), samples, |ff| {
+            sum_report(l, lat_n, 64, &lat_input, ff)
+        }));
+    }
+
+    // Latency-bound convolution at the largest l.
+    let (cn, ck) = if quick {
+        (256usize, 8usize)
+    } else {
+        (1024, 16)
+    };
+    let ca = random_words(ck, 7, 50);
+    let cb = random_words(cn + ck - 1, 8, 50);
+    let conv_l = if quick { 1024 } else { 8192 };
+    rows.push(measure(&format!("conv/l{conv_l}_p64"), samples, |ff| {
+        conv_report(conv_l, cn, ck, 64, &ca, &cb, ff)
+    }));
+
+    // Busy shapes: enough warps to keep the pipes occupied nearly every
+    // unit — the fast-forward path must not regress here.
+    let busy_n = if quick { 1 << 11 } else { 1 << 13 };
+    let busy_p = if quick { 512 } else { 1024 };
+    let busy_input = random_words(busy_n, 43, 100);
+    rows.push(measure(&format!("sum/l64_p{busy_p}"), samples, |ff| {
+        sum_report(64, busy_n, busy_p, &busy_input, ff)
+    }));
+    let (bn, bk, bp) = if quick {
+        (1024usize, 16usize, 512usize)
+    } else {
+        (4096, 32, 2048)
+    };
+    let ba = random_words(bk, 9, 50);
+    let bb = random_words(bn + bk - 1, 10, 50);
+    rows.push(measure(&format!("conv/l64_p{bp}"), samples, |ff| {
+        conv_report(64, bn, bk, bp, &ba, &bb, ff)
+    }));
+
+    let doc = Value::object(vec![
+        ("bench", "engine".into()),
+        ("mode", if quick { "quick" } else { "full" }.into()),
+        ("host_cores", cores.into()),
+        ("samples_per_point", samples.into()),
+        (
+            "note",
+            "min-of-samples wall-clock, sequential driver; fast-forward vs \
+             unit-stepped clock with reports asserted identical up to \
+             skipped_units. Latency-bound shapes (p=64) are where the \
+             event-driven clock pays; busy shapes guard against regression."
+                .into(),
+        ),
+        ("workloads", Value::Array(rows)),
+    ]);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    std::fs::write(&path, doc.to_json_pretty()).expect("write BENCH_engine.json");
+    println!("\n  [dump] {}", path.display());
+}

@@ -60,13 +60,16 @@ fn main() {
         ]));
     }
 
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let doc = Value::object(vec![
         ("bench", "tune".into()),
+        ("host_cores", cores.into()),
         (
             "note",
             "simulated time units (deterministic): the autotuner's winner vs the \
              untuned default per algorithm family, with the static cost model's \
-             mean absolute prediction error over all measured candidates."
+             mean absolute prediction error over all measured candidates. \
+             host_cores only affects wall-clock, never the recorded numbers."
                 .into(),
         ),
         ("workloads", Value::Array(rows)),

@@ -19,6 +19,7 @@ fn main() {
              usage: hmm-cli <sum|reduce|conv|prefix|sort|profile|tune|batch|lint|info> [--key value]... [--json]\n\
              flags: --machine dmm|umm|hmm  --n --k --p --w --l --d --seed --op sum|min|max\n\
                     --threads N   engine worker threads (default: HMM_THREADS env, else all cores)\n\
+                    --no-fast-forward   step the clock one unit at a time (same results, slower)\n\
              profile: hmm-cli profile <algo>[-<machine>] [--buckets B] [--top N]\n\
                     [--profile-out FILE] [--perfetto-out FILE]   (cycle-accounting stall breakdown)\n\
              tune:  hmm-cli tune <sum|conv> [--space SPEC] [--strategy grid|random|hill]\n\

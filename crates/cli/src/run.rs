@@ -99,6 +99,7 @@ pub(crate) struct MachineSpec {
     pub(crate) d: usize,
     pub(crate) seed: u64,
     pub(crate) threads: usize,
+    pub(crate) fast_forward: bool,
 }
 
 pub(crate) fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
@@ -113,6 +114,7 @@ pub(crate) fn machine_spec(a: &Args) -> Result<MachineSpec, CliError> {
         d: a.get_usize("d", 16)?,
         seed: a.get_u64("seed", 1)?,
         threads: a.get_usize("threads", 0)?,
+        fast_forward: !a.has("no-fast-forward"),
     })
 }
 
@@ -123,6 +125,9 @@ impl MachineSpec {
             "umm" => Machine::umm(self.w, self.l, global),
             _ => Machine::hmm(self.d, self.w, self.l, global, shared),
         };
+        // --no-fast-forward pins the unit-stepping reference clock
+        // (results are identical; only wall-clock time changes).
+        let m = m.with_fast_forward(self.fast_forward);
         // --threads 0 (the default) keeps the engine's automatic policy
         // (HMM_THREADS env, else hardware threads); any explicit count
         // pins the worker pool, with 1 selecting the sequential driver.
@@ -454,12 +459,13 @@ pub fn render(outcome: &Outcome, json: bool) -> String {
         if let Some(r) = &outcome.report {
             let _ = write!(
                 out,
-                "\n  instructions {}  global slots {} (util {:.2})  shared slots {}  barriers {}",
+                "\n  instructions {}  global slots {} (util {:.2})  shared slots {}  barriers {}  skipped units {}",
                 r.instructions,
                 r.global.slots,
                 r.global_utilization(),
                 r.shared.slots,
-                r.barriers
+                r.barriers,
+                r.skipped_units
             );
         }
         out

@@ -259,6 +259,23 @@ impl Machine {
         self.engine.set_parallelism(parallelism);
     }
 
+    /// Enable or disable the engine's event-driven clock (builder style;
+    /// default on). Off means the clock walks every time unit — the
+    /// reference mode the differential tests compare against. Results
+    /// are bit-identical either way (only `SimReport::skipped_units`
+    /// and wall-clock time change). Memory contents are kept.
+    #[must_use]
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.engine.set_fast_forward(on);
+        self
+    }
+
+    /// Set the event-driven clock in place (see
+    /// [`Machine::with_fast_forward`]).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.engine.set_fast_forward(on);
+    }
+
     /// Launch `kernel` with the given thread distribution and simulate it
     /// to completion.
     ///

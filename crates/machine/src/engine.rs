@@ -96,6 +96,7 @@ fn auto_workers() -> usize {
 
 /// Static description of a machine.
 #[derive(Debug, Clone)]
+#[allow(clippy::struct_excessive_bools)] // independent feature knobs, not encoded state
 pub struct EngineConfig {
     /// Number of DMMs `d` (1 for the standalone machines).
     pub dmms: usize,
@@ -139,6 +140,12 @@ pub struct EngineConfig {
     /// Worker-thread policy for stepping the DMM shards. Results are
     /// identical at every setting; only wall-clock time changes.
     pub parallelism: Parallelism,
+    /// Event-driven clock: when no thread can step, jump straight to the
+    /// next pipeline completion / dispatch opportunity instead of walking
+    /// the clock one unit at a time. Semantically invisible — reports
+    /// (except `SimReport::skipped_units`), traces, profiles and races
+    /// are bit-identical either way; only wall-clock time changes.
+    pub fast_forward: bool,
 }
 
 /// Default cap on profile-timeline buckets (see
@@ -167,6 +174,7 @@ impl EngineConfig {
             profile: false,
             profile_buckets: DEFAULT_PROFILE_BUCKETS,
             parallelism: Parallelism::Auto,
+            fast_forward: true,
         }
     }
 
@@ -208,6 +216,7 @@ impl EngineConfig {
             profile: false,
             profile_buckets: DEFAULT_PROFILE_BUCKETS,
             parallelism: Parallelism::Auto,
+            fast_forward: true,
         }
     }
 
@@ -398,6 +407,13 @@ impl Engine {
     /// Override the worker-thread policy of an existing machine.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.cfg.parallelism = parallelism;
+    }
+
+    /// Enable or disable the event-driven clock (see
+    /// [`EngineConfig::fast_forward`]). Off means the clock walks every
+    /// time unit — the reference the differential tests compare against.
+    pub fn set_fast_forward(&mut self, fast_forward: bool) {
+        self.cfg.fast_forward = fast_forward;
     }
 
     /// Enable or disable event tracing on an existing machine.

@@ -30,8 +30,23 @@
 //! sort key and stably merged at the end of the run, reproducing the
 //! exact event order of single-threaded execution. Race logs merge the
 //! same way. Statistics are integer sums and maxima folded in DMM order.
+//!
+//! ## The event-driven clock
+//!
+//! Between cycles both drivers compute the **next interesting time** —
+//! `now + 1` while any thread is runnable, otherwise the earliest future
+//! pipeline completion, dispatch opportunity or parked barrier release
+//! (see [`next_time`]). With `EngineConfig::fast_forward` on, the clock
+//! jumps straight to that target and the skipped units are counted in
+//! `SimReport::skipped_units`; with it off, the clock walks there one
+//! unit at a time. Nothing can happen in between (DESIGN.md proves the
+//! target exact), so every other output is bit-identical either way.
+//!
+//! The per-cycle hot path is allocation-free in steady state: warp
+//! transactions, completion batches and slot schedules all live in
+//! per-shard scratch that is cleared and recycled, never reallocated.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -41,7 +56,7 @@ use crate::engine::{DynamicRace, EngineConfig, LaunchSpec, MAX_LOGGED_RACES};
 use crate::error::{SimError, SimResult};
 use crate::isa::{Program, Reg, Scope, Space};
 use crate::profile::{CategoryCounts, LaunchProfile, PipeAcc, StallCategory};
-use crate::request::{AccessKind, ConflictPolicy, Request, SlotSchedule};
+use crate::request::{AccessKind, ConflictPolicy, Request, SlotSchedule, SlotScratch};
 use crate::stats::{MemoryStats, SimReport};
 use crate::trace::{MemoryId, Trace, TraceEvent};
 use crate::vm::{step, StepEffect, ThreadState};
@@ -143,7 +158,9 @@ struct Completion {
     conflict: u64,
 }
 
-/// A warp transaction; `warp` is the global warp id.
+/// A warp transaction; `warp` is the global warp id. Transactions are
+/// pooled: finished shared-memory transactions return their buffers to
+/// the owning shard for the next warp.
 struct Txn {
     warp: usize,
     requests: Vec<Request>,
@@ -154,14 +171,39 @@ struct Txn {
     first_dispatch: u64,
 }
 
+impl Txn {
+    fn empty() -> Self {
+        Self {
+            warp: 0,
+            requests: Vec::new(),
+            dsts: Vec::new(),
+            schedule: SlotSchedule::default(),
+            next_slot: 0,
+            first_dispatch: 0,
+        }
+    }
+
+    /// Ready a (possibly recycled) transaction for a new warp. The
+    /// schedule is rebuilt in place by [`SlotScratch::build_into`].
+    fn reset(&mut self, warp: usize) {
+        self.warp = warp;
+        self.requests.clear();
+        self.dsts.clear();
+        self.next_slot = 0;
+        self.first_dispatch = 0;
+    }
+}
+
 /// Result of dispatching one pipeline slot.
 struct Dispatched {
     warp: usize,
     slot_index: usize,
     total_slots: usize,
+    /// Addresses served this slot (materialised only when tracing).
     addrs: Vec<usize>,
-    /// `(slots, requests)` when this slot finished its transaction.
-    finished: Option<(u64, u64)>,
+    /// The transaction this slot completed, handed back to the caller
+    /// for stats recording and buffer recycling.
+    finished: Option<Txn>,
 }
 
 /// One memory's pipeline: the queue of warp transactions, the transaction
@@ -176,9 +218,17 @@ struct PipeRt {
     completions: VecDeque<(u64, Vec<Completion>)>,
     /// For the non-pipelined ablation: no dispatch before this time.
     busy_until: u64,
+    /// Recycled completion buffers (cleared), refilled by the owner as
+    /// delivered batches are consumed.
+    spare_comps: Vec<Vec<Completion>>,
 }
 
 impl PipeRt {
+    /// Cap on retained spare completion buffers. Own-pipe recycling is
+    /// balanced at one buffer per in-flight slot; routed global batches
+    /// land in the same pool, so bound it.
+    const MAX_SPARES: usize = 32;
+
     fn new(latency: u64, policy: ConflictPolicy, pipelined: bool) -> Self {
         Self {
             latency,
@@ -188,6 +238,7 @@ impl PipeRt {
             current: None,
             completions: VecDeque::new(),
             busy_until: 0,
+            spare_comps: Vec::new(),
         }
     }
 
@@ -197,6 +248,22 @@ impl PipeRt {
 
     fn next_completion_at(&self) -> Option<u64> {
         self.completions.front().map(|(t, _)| *t)
+    }
+
+    /// Earliest future cycle this pipeline could dispatch a slot, `None`
+    /// when nothing is queued or in progress. A pipelined memory can
+    /// dispatch every cycle; the non-pipelined ablation waits out
+    /// `busy_until` first.
+    fn next_dispatch_at(&self, now: u64) -> Option<u64> {
+        self.has_work().then(|| self.busy_until.max(now + 1))
+    }
+
+    /// Return a consumed completion buffer to the spare pool.
+    fn recycle(&mut self, mut buf: Vec<Completion>) {
+        if self.spare_comps.len() < Self::MAX_SPARES {
+            buf.clear();
+            self.spare_comps.push(buf);
+        }
     }
 
     fn pop_due(&mut self, now: u64) -> Option<Vec<Completion>> {
@@ -211,10 +278,13 @@ impl PipeRt {
     /// writes; write-write collisions resolve to the last (highest thread
     /// id) writer — "arbitrary" per the paper, made deterministic here.
     /// `pre` observes the slot before it is served (the race checker).
+    /// `want_addrs` materialises the served addresses for tracing; with
+    /// it off and a primed spare pool the dispatch allocates nothing.
     fn dispatch_slot(
         &mut self,
         now: u64,
         store: &mut BankedMemory,
+        want_addrs: bool,
         pre: impl FnOnce(&Txn, &[usize]),
     ) -> Option<Dispatched> {
         if now < self.busy_until {
@@ -223,16 +293,22 @@ impl PipeRt {
         if self.current.is_none() {
             self.current = self.queue.pop_front();
         }
-        let txn = self.current.as_mut()?;
-        let slot_idx = txn.next_slot;
-        if slot_idx == 0 {
-            txn.first_dispatch = now;
+        {
+            // Bookkeeping writes up front so the slot can then be served
+            // through a shared borrow of the schedule, copy-free.
+            let txn = self.current.as_mut()?;
+            if txn.next_slot == 0 {
+                txn.first_dispatch = now;
+            }
+            txn.next_slot += 1;
         }
+        let txn = self.current.as_ref().expect("checked above");
+        let slot_idx = txn.next_slot - 1;
         let conflict = now - txn.first_dispatch;
-        let slot: Vec<usize> = txn.schedule.slot(slot_idx).to_vec();
-        pre(txn, &slot);
-        let mut completions = Vec::with_capacity(slot.len());
-        for &ri in &slot {
+        let slot = txn.schedule.slot(slot_idx);
+        pre(txn, slot);
+        let mut completions = self.spare_comps.pop().unwrap_or_default();
+        for &ri in slot {
             let req = txn.requests[ri];
             if req.kind == AccessKind::Read {
                 let v = store.read(req.addr).expect("bounds checked at assembly");
@@ -244,7 +320,7 @@ impl PipeRt {
                 });
             }
         }
-        for &ri in &slot {
+        for &ri in slot {
             let req = txn.requests[ri];
             if req.kind == AccessKind::Write {
                 store
@@ -258,24 +334,30 @@ impl PipeRt {
                 });
             }
         }
-        let mut out = Dispatched {
-            warp: txn.warp,
-            slot_index: slot_idx,
-            total_slots: txn.schedule.num_slots(),
-            addrs: slot.iter().map(|&ri| txn.requests[ri].addr).collect(),
-            finished: None,
+        let warp = txn.warp;
+        let total_slots = txn.schedule.num_slots();
+        let addrs = if want_addrs {
+            slot.iter().map(|&ri| txn.requests[ri].addr).collect()
+        } else {
+            Vec::new()
         };
         self.completions
             .push_back((now + self.latency, completions));
         if !self.pipelined {
             self.busy_until = now + self.latency;
         }
-        txn.next_slot += 1;
-        if txn.next_slot == txn.schedule.num_slots() {
-            let done = self.current.take().expect("current transaction");
-            out.finished = Some((done.schedule.num_slots() as u64, done.requests.len() as u64));
-        }
-        Some(out)
+        let finished = if slot_idx + 1 == total_slots {
+            self.current.take()
+        } else {
+            None
+        };
+        Some(Dispatched {
+            warp,
+            slot_index: slot_idx,
+            total_slots,
+            addrs,
+            finished,
+        })
     }
 }
 
@@ -288,9 +370,12 @@ impl PipeRt {
 struct RaceCk {
     enabled: bool,
     dmm: usize,
+    /// Current barrier interval. Starts at 1 so the zero-initialised
+    /// dense table reads "never touched".
     interval: u64,
-    /// addr -> (interval, warp, `saw_a_write`)
-    last: HashMap<usize, (u64, usize, bool)>,
+    /// Dense per-address table: addr -> (interval, warp, `saw_a_write`).
+    /// Sized to the shared memory when enabled, empty otherwise.
+    last: Vec<(u64, usize, bool)>,
     /// Cycle-stamped log, capped at [`MAX_LOGGED_RACES`] per shard (the
     /// global cap is re-applied after the merge).
     log: Vec<(u64, DynamicRace)>,
@@ -298,6 +383,22 @@ struct RaceCk {
 }
 
 impl RaceCk {
+    fn new(dmm: usize, shared_size: usize) -> Self {
+        let enabled = cfg!(debug_assertions) && shared_size > 0;
+        Self {
+            enabled,
+            dmm,
+            interval: 1,
+            last: if enabled {
+                vec![(0, 0, false); shared_size]
+            } else {
+                Vec::new()
+            },
+            log: Vec::new(),
+            count: 0,
+        }
+    }
+
     fn observe(&mut self, cycle: u64, txn: &Txn, slot: &[usize]) {
         if !self.enabled {
             return;
@@ -305,28 +406,25 @@ impl RaceCk {
         for &ri in slot {
             let req = txn.requests[ri];
             let is_write = req.kind == AccessKind::Write;
-            match self.last.get_mut(&req.addr) {
-                Some(e) if e.0 == self.interval => {
-                    if e.1 != txn.warp && (e.2 || is_write) {
-                        self.count += 1;
-                        if self.log.len() < MAX_LOGGED_RACES {
-                            self.log.push((
-                                cycle,
-                                DynamicRace {
-                                    dmm: self.dmm,
-                                    addr: req.addr,
-                                    warp_a: e.1,
-                                    warp_b: txn.warp,
-                                },
-                            ));
-                        }
+            let e = self.last[req.addr];
+            if e.0 == self.interval {
+                if e.1 != txn.warp && (e.2 || is_write) {
+                    self.count += 1;
+                    if self.log.len() < MAX_LOGGED_RACES {
+                        self.log.push((
+                            cycle,
+                            DynamicRace {
+                                dmm: self.dmm,
+                                addr: req.addr,
+                                warp_a: e.1,
+                                warp_b: txn.warp,
+                            },
+                        ));
                     }
-                    e.2 |= is_write;
                 }
-                _ => {
-                    self.last
-                        .insert(req.addr, (self.interval, txn.warp, is_write));
-                }
+                self.last[req.addr].2 |= is_write;
+            } else {
+                self.last[req.addr] = (self.interval, txn.warp, is_write);
             }
         }
     }
@@ -509,12 +607,32 @@ impl Ctl {
 struct Pulse {
     /// Some warp of this shard has a runnable thread.
     any_active: bool,
-    /// The shard's shared pipeline has queued or in-progress work.
-    mem_work: bool,
+    /// Earliest future cycle the shard's shared pipeline could dispatch
+    /// a slot (`None` when it has no queued or in-progress work).
+    next_dispatch: Option<u64>,
     /// Earliest future completion or parked barrier release.
     next_event: Option<u64>,
     /// Threads waiting at a barrier (for the deadlock report).
     waiting: usize,
+}
+
+/// Per-shard warp-assembly scratch: the transaction being built for each
+/// target space, plus the first-touch space order. Emptied every warp by
+/// moving the built transactions out.
+#[derive(Default)]
+struct AsmScratch {
+    /// Indexed by [`space_idx`]; `None` when the warp being assembled has
+    /// no request for that space.
+    building: [Option<Txn>; 2],
+    /// [`space_idx`] values in first-touch order.
+    touched: Vec<usize>,
+}
+
+fn space_idx(space: Space) -> usize {
+    match space {
+        Space::Global => 0,
+        Space::Shared => 1,
+    }
 }
 
 // ---- the shard -----------------------------------------------------------
@@ -543,6 +661,12 @@ struct Shard<'m> {
     pipe: Option<PipeRt>,
     store: &'m mut BankedMemory,
     race_ck: RaceCk,
+    /// Warp-assembly scratch, empty at every unit start.
+    asm: AsmScratch,
+    /// Reusable schedule-building scratch.
+    slot_scratch: SlotScratch,
+    /// Recycled transaction buffers (requests/dsts/schedule capacity).
+    free_txns: Vec<Txn>,
     instructions: u64,
     barriers: u64,
     stats: MemoryStats,
@@ -630,14 +754,10 @@ impl<'m> Shard<'m> {
             pending: Vec::new(),
             pipe,
             store,
-            race_ck: RaceCk {
-                enabled: cfg!(debug_assertions) && cfg.shared_size > 0,
-                dmm,
-                interval: 0,
-                last: HashMap::new(),
-                log: Vec::new(),
-                count: 0,
-            },
+            race_ck: RaceCk::new(dmm, cfg.shared_size),
+            asm: AsmScratch::default(),
+            slot_scratch: SlotScratch::default(),
+            free_txns: Vec::new(),
             instructions: 0,
             barriers: 0,
             stats: MemoryStats::default(),
@@ -697,10 +817,16 @@ impl<'m> Shard<'m> {
                 i += 1;
             }
         }
-        // Global-memory completions (routed by the coordinator).
+        // Global-memory completions (routed by the coordinator). The
+        // batch buffers came from the global pipeline, which never sees
+        // them again; recycling them into this shard's own pipeline keeps
+        // steady-state completion traffic allocation-free here.
         for batch in inbox.drain(..) {
-            for c in batch {
+            for &c in &batch {
                 self.complete(c);
+            }
+            if let Some(pipe) = self.pipe.as_mut() {
+                pipe.recycle(batch);
             }
         }
         // Own shared-memory completions.
@@ -724,9 +850,13 @@ impl<'m> Shard<'m> {
                     },
                 );
             }
-            for c in items {
+            for &c in &items {
                 self.complete(c);
             }
+            self.pipe
+                .as_mut()
+                .expect("just popped from it")
+                .recycle(items);
         }
 
         // Step every runnable thread one instruction.
@@ -844,6 +974,10 @@ impl<'m> Shard<'m> {
     /// for the coordinator's canonical merge. `release_global` is the
     /// decision computed from [`Ctl`] after every shard finished phase A.
     fn phase_b(&mut self, now: u64, release_global: bool, out_txns: &mut Vec<Txn>) {
+        debug_assert!(
+            self.asm.touched.is_empty() && self.asm.building.iter().all(Option::is_none),
+            "warp-assembly scratch must be empty at unit start"
+        );
         // DMM-scope barrier: release once every live thread arrived.
         if self.bar_dmm > 0 && self.bar_dmm == self.alive {
             let n = self.bar_dmm;
@@ -884,8 +1018,8 @@ impl<'m> Shard<'m> {
                 continue;
             }
             // Group the posted requests per target memory (first-touch
-            // order, matching arrival order within the warp).
-            let mut groups: Vec<(Space, Vec<Request>, Vec<Option<Reg>>)> = Vec::new();
+            // order, matching arrival order within the warp), building
+            // directly into recycled transaction buffers.
             for ti in 0..self.warps[wid].threads.len() {
                 let lt = self.warps[wid].threads[ti];
                 if self.threads[lt].status != Status::Posted {
@@ -914,37 +1048,38 @@ impl<'m> Shard<'m> {
                     ));
                     return;
                 }
-                let entry = if let Some(i) = groups.iter().position(|(s, _, _)| *s == posted.space)
-                {
-                    &mut groups[i]
-                } else {
-                    groups.push((posted.space, Vec::new(), Vec::new()));
-                    groups.last_mut().expect("just pushed")
-                };
-                entry.1.push(Request {
+                let si = space_idx(posted.space);
+                if self.asm.building[si].is_none() {
+                    let mut t = self.free_txns.pop().unwrap_or_else(Txn::empty);
+                    t.reset(self.base_warp + wid);
+                    self.asm.building[si] = Some(t);
+                    self.asm.touched.push(si);
+                }
+                let request = Request {
                     thread: self.base_tid + lt,
                     addr: posted.addr,
                     kind: posted.kind,
                     value: posted.value,
-                });
-                entry.2.push(posted.dst);
+                };
+                let txn = self.asm.building[si].as_mut().expect("just ensured");
+                txn.requests.push(request);
+                txn.dsts.push(posted.dst);
                 self.threads[lt].status = Status::InFlight;
             }
             self.warps[wid].posted = 0;
-            for (space, requests, dsts) in groups {
-                let policy = match space {
-                    Space::Global => self.global_policy,
-                    Space::Shared => self.pipe.as_ref().expect("checked above").policy,
+            for k in 0..self.asm.touched.len() {
+                let si = self.asm.touched[k];
+                let mut txn = self.asm.building[si].take().expect("touched space");
+                let (space, policy) = if si == space_idx(Space::Global) {
+                    (Space::Global, self.global_policy)
+                } else {
+                    (
+                        Space::Shared,
+                        self.pipe.as_ref().expect("checked above").policy,
+                    )
                 };
-                let schedule = SlotSchedule::build(&requests, self.width, policy);
-                let txn = Txn {
-                    warp: self.base_warp + wid,
-                    requests,
-                    dsts,
-                    schedule,
-                    next_slot: 0,
-                    first_dispatch: 0,
-                };
+                self.slot_scratch
+                    .build_into(&txn.requests, self.width, policy, &mut txn.schedule);
                 match space {
                     Space::Global => out_txns.push(txn),
                     Space::Shared => self
@@ -955,18 +1090,20 @@ impl<'m> Shard<'m> {
                         .push_back(txn),
                 }
             }
+            self.asm.touched.clear();
         }
 
         // Dispatch one shared-memory pipeline slot.
         if let Some(pipe) = self.pipe.as_mut() {
             let rck = &mut self.race_ck;
             let depth = pipe.queue.len() + usize::from(pipe.current.is_some());
-            if let Some(d) =
-                pipe.dispatch_slot(now, self.store, |txn, slot| rck.observe(now, txn, slot))
-            {
+            if let Some(d) = pipe.dispatch_slot(now, self.store, self.trace_on, |txn, slot| {
+                rck.observe(now, txn, slot);
+            }) {
+                let finished_slots = d.finished.as_ref().map(|t| t.schedule.num_slots() as u64);
                 if let Some(acc) = self.prof.as_mut().and_then(|p| p.pipe.as_mut()) {
                     acc.on_dispatch(now, depth);
-                    if let Some((slots, _)) = d.finished {
+                    if let Some(slots) = finished_slots {
                         acc.on_txn_done(slots);
                     }
                 }
@@ -990,20 +1127,24 @@ impl<'m> Shard<'m> {
                         },
                     );
                 }
-                if let Some((slots, reqs)) = d.finished {
-                    self.stats.record(slots, reqs);
+                if let Some(mut done) = d.finished {
+                    self.stats
+                        .record(done.schedule.num_slots() as u64, done.requests.len() as u64);
+                    done.requests.clear();
+                    done.dsts.clear();
+                    self.free_txns.push(done);
                 }
             }
         }
     }
 
     /// End-of-cycle liveness snapshot.
-    fn pulse(&self) -> Pulse {
+    fn pulse(&self, now: u64) -> Pulse {
         let pipe_next = self.pipe.as_ref().and_then(PipeRt::next_completion_at);
         let park_next = self.pending.iter().map(|(t, _)| *t).min();
         Pulse {
             any_active: self.active.iter().any(|&a| a),
-            mem_work: self.pipe.as_ref().is_some_and(PipeRt::has_work),
+            next_dispatch: self.pipe.as_ref().and_then(|p| p.next_dispatch_at(now)),
             next_event: match (pipe_next, park_next) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
@@ -1085,16 +1226,21 @@ impl Coord<'_> {
     }
 
     /// Append this cycle's global-bound transactions (already in the
-    /// canonical DMM order) and dispatch one global pipeline slot.
-    fn dispatch(&mut self, now: u64, txns: impl IntoIterator<Item = Txn>) {
-        for t in txns {
+    /// canonical DMM order, drained out of the caller's reusable buffer)
+    /// and dispatch one global pipeline slot.
+    fn dispatch(&mut self, now: u64, txns: &mut Vec<Txn>) {
+        for t in txns.drain(..) {
             self.pipe.queue.push_back(t);
         }
         let depth = self.pipe.queue.len() + usize::from(self.pipe.current.is_some());
-        if let Some(d) = self.pipe.dispatch_slot(now, self.store, |_, _| {}) {
+        if let Some(d) = self
+            .pipe
+            .dispatch_slot(now, self.store, self.trace_on, |_, _| {})
+        {
+            let finished_slots = d.finished.as_ref().map(|t| t.schedule.num_slots() as u64);
             if let Some(acc) = self.prof.as_mut() {
                 acc.on_dispatch(now, depth);
-                if let Some((slots, _)) = d.finished {
+                if let Some(slots) = finished_slots {
                     acc.on_txn_done(slots);
                 }
             }
@@ -1118,30 +1264,45 @@ impl Coord<'_> {
                     },
                 );
             }
-            if let Some((slots, reqs)) = d.finished {
-                self.stats.record(slots, reqs);
+            if let Some(done) = d.finished {
+                self.stats
+                    .record(done.schedule.num_slots() as u64, done.requests.len() as u64);
+                // Global-bound transactions originate in the shards, so
+                // their buffers cannot flow back to an assembly pool;
+                // dropping them here is the one per-transaction
+                // allocation the hot loop still pays.
             }
         }
     }
 }
 
-/// End-of-cycle time advance, shared verbatim by both drivers: step one
-/// unit while anything is active, fast-forward to the next event when
-/// idle, and report a deadlock when no event can ever arrive.
-fn advance_time(
+/// The next interesting time, computed identically by both drivers at the
+/// end of every cycle: `now + 1` while any thread is runnable, otherwise
+/// the earliest future dispatch opportunity, pipeline completion or
+/// parked barrier release. When no such event exists the machine can
+/// never make progress again and the deadlock is reported.
+///
+/// The `fast_forward` knob only decides whether the driver jumps to the
+/// returned target or walks to it one unit at a time; the target itself —
+/// and therefore every simulated output — is the same either way
+/// (exactness argument in DESIGN.md).
+fn next_time(
     now: u64,
-    global_work: bool,
-    global_next: Option<u64>,
+    global_dispatch: Option<u64>,
+    global_completion: Option<u64>,
     pulses: &[Pulse],
 ) -> SimResult<u64> {
-    let any_runnable = pulses.iter().any(|p| p.any_active);
-    let any_mem_work = global_work || pulses.iter().any(|p| p.mem_work);
-    if any_runnable || any_mem_work {
+    if pulses.iter().any(|p| p.any_active) {
         return Ok(now + 1);
     }
-    let next = global_next
+    let next = global_dispatch
         .into_iter()
-        .chain(pulses.iter().filter_map(|p| p.next_event))
+        .chain(global_completion)
+        .chain(
+            pulses
+                .iter()
+                .flat_map(|p| p.next_dispatch.into_iter().chain(p.next_event)),
+        )
         .min();
     match next {
         Some(t) => Ok(t.max(now + 1)),
@@ -1166,17 +1327,20 @@ fn first_error(shards: &[Shard<'_>]) -> Option<SimError> {
 // ---- drivers -------------------------------------------------------------
 
 /// Single-threaded driver: the oracle. Runs the exact same phase code as
-/// the parallel driver, in the same order.
+/// the parallel driver, in the same order. Returns the number of time
+/// units the event-driven clock skipped.
 fn drive_sequential(
     cfg: &EngineConfig,
     program: &Program,
     coord: &mut Coord<'_>,
     shards: &mut [Shard<'_>],
     ctl: &Ctl,
-) -> SimResult<()> {
+) -> SimResult<u64> {
     let mut inboxes: Vec<Vec<Vec<Completion>>> = vec![Vec::new(); shards.len()];
     let mut pulses: Vec<Pulse> = vec![Pulse::default(); shards.len()];
+    let mut txns: Vec<Txn> = Vec::new();
     let mut now: u64 = 0;
+    let mut skipped: u64 = 0;
     loop {
         if now >= cfg.max_cycles {
             return Err(SimError::CycleLimit {
@@ -1193,7 +1357,7 @@ fn drive_sequential(
             coord.note_global_release(now, waiting);
             ctl.grel.fetch_add(waiting, Ordering::SeqCst);
         }
-        let mut txns: Vec<Txn> = Vec::new();
+        debug_assert!(txns.is_empty(), "txn buffer must be empty at unit start");
         if !skip_b {
             for s in shards.iter_mut() {
                 s.phase_b(now, release.is_some(), &mut txns);
@@ -1202,19 +1366,25 @@ fn drive_sequential(
         if let Some(e) = first_error(shards) {
             return Err(e);
         }
-        coord.dispatch(now, txns);
+        coord.dispatch(now, &mut txns);
         if ctl.alive.load(Ordering::SeqCst) == 0 {
-            return Ok(());
+            return Ok(skipped);
         }
         for (s, p) in shards.iter().zip(pulses.iter_mut()) {
-            *p = s.pulse();
+            *p = s.pulse(now);
         }
-        now = advance_time(
+        let target = next_time(
             now,
-            coord.pipe.has_work(),
+            coord.pipe.next_dispatch_at(now),
             coord.pipe.next_completion_at(),
             &pulses,
         )?;
+        if cfg.fast_forward {
+            skipped += target - (now + 1);
+            now = target;
+        } else {
+            now += 1;
+        }
     }
 }
 
@@ -1242,7 +1412,7 @@ fn drive_parallel(
     shards: &mut [Shard<'_>],
     ctl: &Ctl,
     workers: usize,
-) -> SimResult<()> {
+) -> SimResult<u64> {
     let dmms = shards.len();
     let chunk = dmms.div_ceil(workers);
     let mail: Vec<Mutex<Mail>> = (0..dmms).map(|_| Mutex::new(Mail::default())).collect();
@@ -1273,7 +1443,7 @@ fn drive_parallel(
                         if !skip_b {
                             s.phase_b(now, release.is_some(), &mut m.txns);
                         }
-                        m.pulse = s.pulse();
+                        m.pulse = s.pulse(now);
                         m.err.clone_from(&s.err);
                     }
                     barrier.wait(); // S2: all phase B published
@@ -1284,7 +1454,9 @@ fn drive_parallel(
         // Coordinator (this thread). Every exit path falls through to the
         // stop protocol below so the workers always unblock.
         let mut pulses: Vec<Pulse> = vec![Pulse::default(); dmms];
+        let mut txns: Vec<Txn> = Vec::new();
         let mut now: u64 = 0;
+        let mut skipped: u64 = 0;
         let result = loop {
             if now >= cfg.max_cycles {
                 break Err(SimError::CycleLimit {
@@ -1309,7 +1481,7 @@ fn drive_parallel(
                 ctl.grel.fetch_add(waiting, Ordering::SeqCst);
             }
             let mut err: Option<(u8, usize, SimError)> = None;
-            let mut txns: Vec<Txn> = Vec::new();
+            debug_assert!(txns.is_empty(), "txn buffer must be empty at unit start");
             for (d, slot) in mail.iter().enumerate() {
                 let mut m = slot.lock().expect("mailbox");
                 txns.append(&mut m.txns);
@@ -1323,17 +1495,24 @@ fn drive_parallel(
             if let Some((_, _, e)) = err {
                 break Err(e);
             }
-            coord.dispatch(now, txns);
+            coord.dispatch(now, &mut txns);
             if ctl.alive.load(Ordering::SeqCst) == 0 {
-                break Ok(());
+                break Ok(skipped);
             }
-            match advance_time(
+            match next_time(
                 now,
-                coord.pipe.has_work(),
+                coord.pipe.next_dispatch_at(now),
                 coord.pipe.next_completion_at(),
                 &pulses,
             ) {
-                Ok(t) => now = t,
+                Ok(target) => {
+                    if cfg.fast_forward {
+                        skipped += target - (now + 1);
+                        now = target;
+                    } else {
+                        now += 1;
+                    }
+                }
                 Err(e) => break Err(e),
             }
         };
@@ -1404,17 +1583,18 @@ pub(crate) fn run(
     let ctl = Ctl::new(p);
 
     let workers = cfg.parallelism.workers(cfg.dmms);
-    if workers <= 1 {
-        drive_sequential(cfg, &spec.program, &mut coord, &mut shards, &ctl)?;
+    let skipped = if workers <= 1 {
+        drive_sequential(cfg, &spec.program, &mut coord, &mut shards, &ctl)?
     } else {
-        drive_parallel(cfg, &spec.program, &mut coord, &mut shards, &ctl, workers)?;
-    }
+        drive_parallel(cfg, &spec.program, &mut coord, &mut shards, &ctl, workers)?
+    };
 
     // ---- merge (always in DMM order) ------------------------------------
     let mut report = SimReport {
         threads: p,
         global: coord.stats,
         barriers: coord.barriers,
+        skipped_units: skipped,
         ..SimReport::default()
     };
     let has_shared = cfg.shared_size > 0;

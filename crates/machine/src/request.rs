@@ -16,8 +16,10 @@
 //! [`SlotSchedule`] computes the exact slot-by-slot breakdown, which the
 //! engine feeds through the pipelined MMU and the trace module replays to
 //! reproduce the paper's Figure 4.
-
-use std::collections::BTreeMap;
+//!
+//! Schedules are stored in a flat CSR-style layout and can be rebuilt in
+//! place through a [`SlotScratch`], so the engine's per-warp assembly hot
+//! path performs no heap allocation in steady state.
 
 use crate::bank::{bank_of, group_of};
 use crate::word::Word;
@@ -59,86 +61,152 @@ pub struct Request {
 
 /// A transaction broken into pipeline slots.
 ///
-/// `slots[i]` lists the indices (into the original request vector) served
-/// in the `i`-th slot. Every request appears in exactly one slot.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Slot `i` lists the indices (into the original request vector) served
+/// in the `i`-th slot. Every request appears in exactly one slot. The
+/// slots are stored slot-major in one flat vector (CSR layout) so a
+/// schedule can be rebuilt in place without reallocating.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SlotSchedule {
-    slots: Vec<Vec<usize>>,
+    /// Request indices, slot-major: slot `i` is `flat[start(i)..ends[i]]`.
+    flat: Vec<usize>,
+    /// Exclusive end offset of each slot within `flat`.
+    ends: Vec<usize>,
 }
 
 impl SlotSchedule {
     /// Schedule `requests` under `policy` on a memory of `width` banks.
     ///
-    /// Returns an empty schedule for an empty request set.
+    /// Returns an empty schedule for an empty request set. Convenience
+    /// wrapper over [`SlotScratch::build_into`] that allocates fresh
+    /// scratch; hot paths should hold a [`SlotScratch`] instead.
     #[must_use]
     pub fn build(requests: &[Request], width: usize, policy: ConflictPolicy) -> Self {
-        match policy {
-            ConflictPolicy::Banked => Self::build_banked(requests, width),
-            ConflictPolicy::Coalesced => Self::build_coalesced(requests, width),
-            ConflictPolicy::Ideal => Self::build_ideal(requests),
-        }
-    }
-
-    fn build_ideal(requests: &[Request]) -> Self {
-        if requests.is_empty() {
-            return Self { slots: Vec::new() };
-        }
-        Self {
-            slots: vec![(0..requests.len()).collect()],
-        }
-    }
-
-    /// DMM rule: within each bank, distinct addresses serialise; the `i`-th
-    /// distinct address of every bank is served in slot `i`. Requests for
-    /// an address already scheduled in some slot join that slot (merge).
-    fn build_banked(requests: &[Request], width: usize) -> Self {
-        // For each bank: ordered list of distinct addresses -> slot index.
-        let mut per_bank: BTreeMap<usize, BTreeMap<usize, usize>> = BTreeMap::new();
-        let mut slots: Vec<Vec<usize>> = Vec::new();
-        for (i, r) in requests.iter().enumerate() {
-            let bank = bank_of(r.addr, width);
-            let addrs = per_bank.entry(bank).or_default();
-            let next = addrs.len();
-            let slot = *addrs.entry(r.addr).or_insert(next);
-            if slot == slots.len() {
-                slots.push(Vec::new());
-            }
-            slots[slot].push(i);
-        }
-        Self { slots }
-    }
-
-    /// UMM rule: one distinct address group per slot, in first-touch order.
-    fn build_coalesced(requests: &[Request], width: usize) -> Self {
-        let mut group_slot: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut slots: Vec<Vec<usize>> = Vec::new();
-        for (i, r) in requests.iter().enumerate() {
-            let g = group_of(r.addr, width);
-            let next = group_slot.len();
-            let slot = *group_slot.entry(g).or_insert(next);
-            if slot == slots.len() {
-                slots.push(Vec::new());
-            }
-            slots[slot].push(i);
-        }
-        Self { slots }
+        let mut out = SlotSchedule::default();
+        SlotScratch::default().build_into(requests, width, policy, &mut out);
+        out
     }
 
     /// Number of pipeline slots the transaction occupies.
     #[must_use]
     pub fn num_slots(&self) -> usize {
-        self.slots.len()
+        self.ends.len()
     }
 
     /// Request indices served in slot `i`.
     #[must_use]
     pub fn slot(&self, i: usize) -> &[usize] {
-        &self.slots[i]
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.flat[start..self.ends[i]]
     }
 
     /// Iterate over the slots.
     pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
-        self.slots.iter().map(Vec::as_slice)
+        (0..self.num_slots()).map(|i| self.slot(i))
+    }
+}
+
+/// Reusable working memory for building [`SlotSchedule`]s.
+///
+/// The engine assembles one schedule per warp transaction; routing every
+/// build through one per-shard scratch keeps the hot loop free of heap
+/// allocation once the buffers have grown to the warp width.
+#[derive(Debug, Default)]
+pub struct SlotScratch {
+    /// Per-request slot assignment.
+    slot_of: Vec<usize>,
+    /// Per-slot request count, reused as the scatter cursor.
+    counts: Vec<usize>,
+    /// Distinct `(bank-or-group, addr, slot)` keys in first-touch order.
+    /// A warp contributes at most `w` requests, so linear scans over this
+    /// list beat map allocation.
+    seen: Vec<(usize, usize, usize)>,
+}
+
+impl SlotScratch {
+    /// Build the schedule for `requests` into `out`, reusing both `out`'s
+    /// buffers and this scratch. Produces exactly the same schedule as
+    /// [`SlotSchedule::build`].
+    pub fn build_into(
+        &mut self,
+        requests: &[Request],
+        width: usize,
+        policy: ConflictPolicy,
+        out: &mut SlotSchedule,
+    ) {
+        self.slot_of.clear();
+        self.seen.clear();
+        let mut num_slots = 0usize;
+        match policy {
+            // DMM rule: within each bank, distinct addresses serialise;
+            // the i-th distinct address of every bank is served in slot
+            // i. Requests for an address already scheduled join its slot
+            // (merge: broadcast read / arbitrary-winner write).
+            ConflictPolicy::Banked => {
+                for r in requests {
+                    let bank = bank_of(r.addr, width);
+                    let mut slot = None;
+                    let mut distinct_in_bank = 0;
+                    for &(b, a, s) in &self.seen {
+                        if b == bank {
+                            if a == r.addr {
+                                slot = Some(s);
+                                break;
+                            }
+                            distinct_in_bank += 1;
+                        }
+                    }
+                    let s = slot.unwrap_or_else(|| {
+                        self.seen.push((bank, r.addr, distinct_in_bank));
+                        distinct_in_bank
+                    });
+                    self.slot_of.push(s);
+                    num_slots = num_slots.max(s + 1);
+                }
+            }
+            // UMM rule: one distinct address group per slot, first-touch
+            // order.
+            ConflictPolicy::Coalesced => {
+                for r in requests {
+                    let g = group_of(r.addr, width);
+                    let found = self.seen.iter().find(|&&(key, _, _)| key == g).map(|e| e.2);
+                    let s = found.unwrap_or_else(|| {
+                        let s = self.seen.len();
+                        self.seen.push((g, 0, s));
+                        s
+                    });
+                    self.slot_of.push(s);
+                    num_slots = num_slots.max(s + 1);
+                }
+            }
+            // PRAM-style ideal memory: everything in one slot.
+            ConflictPolicy::Ideal => {
+                self.slot_of.extend(requests.iter().map(|_| 0));
+                num_slots = usize::from(!requests.is_empty());
+            }
+        }
+
+        // Scatter the per-request assignments into the CSR layout.
+        self.counts.clear();
+        self.counts.resize(num_slots, 0);
+        for &s in &self.slot_of {
+            self.counts[s] += 1;
+        }
+        out.ends.clear();
+        let mut running = 0;
+        for &c in &self.counts {
+            running += c;
+            out.ends.push(running);
+        }
+        // Reuse `counts` as the next-write cursor per slot.
+        for s in 0..num_slots {
+            self.counts[s] = if s == 0 { 0 } else { out.ends[s - 1] };
+        }
+        out.flat.clear();
+        out.flat.resize(requests.len(), 0);
+        for (i, &s) in self.slot_of.iter().enumerate() {
+            out.flat[self.counts[s]] = i;
+            self.counts[s] += 1;
+        }
     }
 }
 

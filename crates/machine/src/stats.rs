@@ -101,6 +101,12 @@ pub struct SimReport {
     /// Trace events produced but not retained under the engine's
     /// `trace_capacity` bound (0 when tracing is off or unbounded).
     pub trace_dropped_events: u64,
+    /// Time units the event-driven clock jumped over instead of stepping
+    /// (all warps parked behind a memory pipeline, a barrier release or
+    /// a busy non-pipelined memory). Always 0 when fast-forwarding is
+    /// disabled; every other field is independent of the setting, so
+    /// this is the only report field the `fast_forward` knob may change.
+    pub skipped_units: u64,
 }
 
 impl SimReport {
@@ -165,6 +171,7 @@ impl SimReport {
             ("threads", self.threads.into()),
             ("shared_races", self.shared_races.into()),
             ("trace_dropped_events", self.trace_dropped_events.into()),
+            ("skipped_units", self.skipped_units.into()),
             // Derived metrics, serialised so JSON consumers need not
             // recompute them; `from_json` ignores this object.
             (
@@ -205,6 +212,8 @@ impl SimReport {
             shared_races: v["shared_races"].as_u64().unwrap_or(0),
             // Absent in reports serialised before trace capping existed.
             trace_dropped_events: v["trace_dropped_events"].as_u64().unwrap_or(0),
+            // Absent in reports serialised before the event-driven clock.
+            skipped_units: v["skipped_units"].as_u64().unwrap_or(0),
         })
     }
 }

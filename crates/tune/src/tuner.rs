@@ -56,6 +56,9 @@ pub struct TuneConfig {
     /// Static-prune threshold: drop candidates predicted worse than
     /// this multiple of the best prediction.
     pub prune_factor: f64,
+    /// Event-driven clock for the measured machines (on by default);
+    /// semantically invisible, so reports are identical either way.
+    pub fast_forward: bool,
 }
 
 impl TuneConfig {
@@ -72,6 +75,7 @@ impl TuneConfig {
             strategy: StrategyKind::Grid,
             space: TuneSpace::default(),
             prune_factor: 8.0,
+            fast_forward: true,
         }
     }
 }
@@ -153,6 +157,7 @@ fn evaluate(
     input: &[Word],
     expect: &[Word],
     profiled: bool,
+    fast_forward: bool,
 ) -> Measurement {
     let tk = match alg.build(c, n) {
         Ok(tk) => tk,
@@ -166,7 +171,8 @@ fn evaluate(
         }
     };
     let mut m = Machine::hmm(c.d, c.w, c.l, tk.global_size, tk.shared_size)
-        .with_parallelism(Parallelism::Sequential);
+        .with_parallelism(Parallelism::Sequential)
+        .with_fast_forward(fast_forward);
     if profiled {
         m.set_profiling(true);
     }
@@ -270,7 +276,15 @@ pub fn tune(cfg: &TuneConfig) -> Result<TuneReport, TuneError> {
     let expect = alg.reference(&input);
     let measure = |wave: Vec<usize>, profiled: bool| -> Vec<Keyed<usize, Measurement>> {
         runner.run_keyed(wave, |&i| {
-            evaluate(alg, &candidates[i], n, &input, &expect, profiled)
+            evaluate(
+                alg,
+                &candidates[i],
+                n,
+                &input,
+                &expect,
+                profiled,
+                cfg.fast_forward,
+            )
         })
     };
 

@@ -1,0 +1,220 @@
+//! Differential test: the event-driven clock must be **semantically
+//! invisible**.
+//!
+//! Every paper kernel (sum, convolution, prefix sums, the Figure 1
+//! patterns, transpose, matmul, bitonic sort) runs with fast-forwarding
+//! on and off, under the sequential driver and the threaded driver at 4
+//! workers. The full [`SimReport`], the dynamic race log, the final
+//! global memory, the (capacity-bounded) event trace and the
+//! cycle-accounting [`LaunchProfile`]s must match exactly — the only
+//! permitted difference is the `skipped_units` diagnostic, which must
+//! be zero whenever fast-forwarding is off and identical across worker
+//! counts whenever it is on.
+
+use hmm_algorithms::convolution::hmm::shared_words;
+use hmm_algorithms::convolution::run_conv_hmm;
+use hmm_algorithms::matmul::{matmul_shared_words, run_matmul_hmm};
+use hmm_algorithms::patterns::{run_figure1, run_transpose, Figure1};
+use hmm_algorithms::prefix::{prefix_shared_words, run_prefix_hmm};
+use hmm_algorithms::sort::run_sort_hmm;
+use hmm_algorithms::sum::run_sum_hmm;
+use hmm_core::{Machine, Parallelism};
+use hmm_machine::profile::LaunchProfile;
+use hmm_machine::{DynamicRace, SimReport, TraceEvent, Word};
+use hmm_workloads::random_words;
+
+const W: usize = 4;
+/// High latency so latency-bound stretches actually occur.
+const L: usize = 32;
+const DMM_COUNTS: [usize; 3] = [1, 2, 4];
+/// Bound the trace so the drop-at-capacity path is exercised too.
+const TRACE_CAP: usize = 512;
+
+/// Everything observable about one simulation run, with the
+/// clock-dependent diagnostic normalised out.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    report: SimReport,
+    races: Vec<DynamicRace>,
+    global: Vec<Word>,
+    trace: Vec<TraceEvent>,
+    profiles: Vec<LaunchProfile>,
+}
+
+/// Run `run` on `m` with tracing (bounded) and profiling enabled.
+/// Returns the skipped-unit count alongside the normalised observation.
+fn observe(mut m: Machine, run: impl FnOnce(&mut Machine) -> SimReport) -> (u64, Observed) {
+    m.set_trace(true);
+    m.engine_mut().set_trace_capacity(Some(TRACE_CAP));
+    m.set_profiling(true);
+    let mut report = run(&mut m);
+    let skipped = report.skipped_units;
+    report.skipped_units = 0;
+    let obs = Observed {
+        races: m.engine_mut().take_races(),
+        global: m.global().to_vec(),
+        trace: m.take_trace().expect("trace was enabled").events().to_vec(),
+        profiles: m.take_profiles(),
+        report,
+    };
+    (skipped, obs)
+}
+
+/// Run `launch` at every DMM count with the clock in both modes under
+/// both drivers, and require identical observations throughout.
+fn assert_clock_invisible(
+    name: &str,
+    launch: impl Fn(usize, bool, Parallelism) -> (u64, Observed),
+) {
+    for &d in &DMM_COUNTS {
+        let (skipped_seq, oracle) = launch(d, true, Parallelism::Sequential);
+        let (stepped_seq, walked) = launch(d, false, Parallelism::Sequential);
+        assert_eq!(
+            stepped_seq, 0,
+            "{name}: skipped_units must be 0 with fast-forward off (d={d})"
+        );
+        assert_eq!(
+            walked, oracle,
+            "{name}: unit-stepped run diverged from fast-forwarded run (d={d})"
+        );
+        let (skipped_par, par_on) = launch(d, true, Parallelism::Threads(4));
+        let (stepped_par, par_off) = launch(d, false, Parallelism::Threads(4));
+        assert_eq!(par_on, oracle, "{name}: parallel ff-on diverged (d={d})");
+        assert_eq!(par_off, oracle, "{name}: parallel ff-off diverged (d={d})");
+        assert_eq!(stepped_par, 0, "{name}: parallel ff-off skipped (d={d})");
+        assert_eq!(
+            skipped_par, skipped_seq,
+            "{name}: skipped_units depends on the worker count (d={d})"
+        );
+    }
+}
+
+#[test]
+fn sum_is_clock_invariant() {
+    let input = random_words(512, 11, 1000);
+    assert_clock_invisible("sum", |d, ff, par| {
+        let p = 16 * d;
+        let shared = (p / d).next_power_of_two().max(8);
+        let m = Machine::hmm(d, W, L, 512 + 2 * d.next_power_of_two() + 8, shared)
+            .with_parallelism(par)
+            .with_fast_forward(ff);
+        observe(m, |m| run_sum_hmm(m, &input, p).unwrap().report)
+    });
+}
+
+#[test]
+fn convolution_is_clock_invariant() {
+    let (n, k) = (256usize, 8usize);
+    let a = random_words(k, 3, 50);
+    let b = random_words(n + k - 1, 4, 50);
+    assert_clock_invisible("conv", |d, ff, par| {
+        let p = 8 * d;
+        let shared = shared_words(n.div_ceil(d), k) + 8;
+        let m = Machine::hmm(d, W, L, 2 * (n + 2 * k), shared)
+            .with_parallelism(par)
+            .with_fast_forward(ff);
+        observe(m, |m| run_conv_hmm(m, &a, &b, p).unwrap().report)
+    });
+}
+
+#[test]
+fn prefix_is_clock_invariant() {
+    let n = 256usize;
+    let input = random_words(n, 17, 1000);
+    assert_clock_invisible("prefix", |d, ff, par| {
+        let p = 8 * d;
+        let shared = prefix_shared_words(n.div_ceil(d), p / d, d) + 8;
+        let m = Machine::hmm(d, W, L, 4 * n, shared)
+            .with_parallelism(par)
+            .with_fast_forward(ff);
+        observe(m, |m| run_prefix_hmm(m, &input, p).unwrap().report)
+    });
+}
+
+#[test]
+fn figure1_patterns_are_clock_invariant() {
+    let side = 16usize;
+    for pattern in Figure1::ALL {
+        assert_clock_invisible(pattern.name(), |d, ff, par| {
+            let m = Machine::hmm(d, W, L, side * side, 16)
+                .with_parallelism(par)
+                .with_fast_forward(ff);
+            observe(m, |m| run_figure1(m, pattern, side, side).unwrap())
+        });
+    }
+}
+
+#[test]
+fn transpose_is_clock_invariant() {
+    let side = 8usize;
+    let a = random_words(side * side, 7, 100);
+    assert_clock_invisible("transpose", |d, ff, par| {
+        let mut m = Machine::hmm(d, W, L, 2 * side * side, 16)
+            .with_parallelism(par)
+            .with_fast_forward(ff);
+        m.load_global(0, &a);
+        observe(m, |m| run_transpose(m, 0, side * side, side).unwrap())
+    });
+}
+
+#[test]
+fn matmul_is_clock_invariant() {
+    let (side, tw, p) = (8usize, 4usize, 16usize);
+    let a = random_words(side * side, 21, 10);
+    let b = random_words(side * side, 22, 10);
+    assert_clock_invisible("matmul", |d, ff, par| {
+        let shared = matmul_shared_words(side, d, tw);
+        let m = Machine::hmm(d, W, L, 3 * side * side, shared)
+            .with_parallelism(par)
+            .with_fast_forward(ff);
+        observe(m, |m| {
+            run_matmul_hmm(m, &a, &b, side, tw, p).unwrap().report
+        })
+    });
+}
+
+#[test]
+fn sort_is_clock_invariant() {
+    let n = 64usize;
+    let input = random_words(n, 33, 1_000_000);
+    assert_clock_invisible("sort", |d, ff, par| {
+        let m = Machine::hmm(d, W, L, n, n / d)
+            .with_parallelism(par)
+            .with_fast_forward(ff);
+        observe(m, |m| run_sort_hmm(m, &input, 32).unwrap().report)
+    });
+}
+
+/// A latency-bound kernel (one warp, global round trips at l = 64) must
+/// actually skip: the clock jumps the idle stretch between a dispatch
+/// and its completion, and the report says so.
+#[test]
+fn latency_bound_kernel_skips_and_reports_it() {
+    use hmm_machine::{abi, isa::Reg, Asm, Engine, EngineConfig, LaunchSpec};
+
+    let mut a = Asm::new();
+    a.ld_global(Reg(16), abi::GID, 0);
+    a.st_global(abi::GID, 64, Reg(16));
+    a.bar_global();
+    a.ld_global(Reg(17), abi::GID, 64);
+    a.halt();
+    let program = a.finish();
+
+    let run = |ff: bool| {
+        let mut cfg = EngineConfig::hmm(1, 4, 64, 256, 16);
+        cfg.fast_forward = ff;
+        let mut engine = Engine::new(cfg).unwrap();
+        let spec = LaunchSpec::even(program.clone(), 4, 1, Vec::new());
+        engine.run(&spec).unwrap()
+    };
+    let fast = run(true);
+    let slow = run(false);
+    assert!(
+        fast.skipped_units > 0,
+        "a one-warp l=64 kernel must have skippable idle stretches"
+    );
+    assert_eq!(slow.skipped_units, 0);
+    let mut fast_n = fast.clone();
+    fast_n.skipped_units = 0;
+    assert_eq!(fast_n, slow, "reports differ beyond skipped_units");
+}
